@@ -1,0 +1,45 @@
+// Ablation A: reparameterized vs biased gradient estimation (paper §II.A,
+// Eq. 1 vs Eq. 2; footnote 1 claims no prior VAT work used
+// reparameterization). LeNet-5s A2W2 under weight-proportional within-chip
+// variation — the weight-proportional model is where the two estimators
+// differ (the layer-fixed reparameterization has df/dw = 0 a.e.).
+#include "bench_common.h"
+
+using namespace qavat;
+using namespace qavat::bench;
+
+int main() {
+  const ModelKind kind = ModelKind::kLeNet5s;
+  const VarianceModel vm = VarianceModel::kWeightProportional;
+  SplitDataset data = make_dataset_for(kind);
+  EvalConfig ecfg = default_eval_config(kind);
+  ModelConfig mcfg = default_model_config(kind, 2, 2);
+
+  std::printf("Ablation A: reparameterized vs biased variability gradients\n");
+  std::printf("(LeNet-5s A2W2, within-chip weight-proportional; accuracy %%)\n\n");
+
+  TextTable table({"sigma", "reparameterized", "biased (Eq. 1)"});
+  for (double sigma : {0.3, 0.5}) {
+    const VariabilityConfig env = VariabilityConfig::within_only(vm, sigma);
+    std::vector<std::string> row = {TextTable::fmt(sigma, 1)};
+    for (bool reparam : {true, false}) {
+      TrainConfig tcfg = within_train_config(kind, vm, sigma);
+      tcfg.reparam = reparam;
+      auto trained = train_cached(kind, mcfg, TrainAlgo::kQAVAT, data, tcfg);
+      const double acc = eval_mean(
+          std::string("lenet5s_A2W2_ablA_rep") + (reparam ? "1" : "0") + "_" +
+              env_key(env),
+          *trained.model, data.test, env, ecfg);
+      row.push_back(pct(acc));
+      std::fflush(stdout);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf(
+      "\nThe paper argues the biased estimator (noise treated as an additive\n"
+      "constant) ignores the dependence of the noise distribution on w; the\n"
+      "reparameterized estimator is unbiased. At small scale the gap is\n"
+      "modest but the unbiased estimator should not be worse.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation B: MMSE weight-scale update frequency. The paper computes the
+// scaling factors once at the beginning of training and reports that more
+// frequent updates "only improve results marginally". This bench compares
+// init-only vs per-epoch recomputation on LeNet-5s A2W2 QAT/QAVAT.
+#include "bench_common.h"
+
+using namespace qavat;
+using namespace qavat::bench;
+
+int main() {
+  const ModelKind kind = ModelKind::kLeNet5s;
+  const VarianceModel vm = VarianceModel::kWeightProportional;
+  SplitDataset data = make_dataset_for(kind);
+  EvalConfig ecfg = default_eval_config(kind);
+  ModelConfig mcfg = default_model_config(kind, 2, 2);
+
+  std::printf("Ablation B: MMSE weight-scale update policy\n");
+  std::printf("(LeNet-5s A2W2; accuracy %%)\n\n");
+
+  TextTable table({"algo", "sigma", "init-only", "per-epoch"});
+  for (double sigma : {0.0, 0.3}) {
+    const TrainAlgo algo = sigma > 0.0 ? TrainAlgo::kQAVAT : TrainAlgo::kQAT;
+    std::vector<std::string> row = {to_string(algo), TextTable::fmt(sigma, 1)};
+    for (ScaleUpdatePolicy policy :
+         {ScaleUpdatePolicy::kInitOnly, ScaleUpdatePolicy::kPerEpoch}) {
+      TrainConfig tcfg = within_train_config(kind, vm, std::max(sigma, 0.0));
+      if (algo == TrainAlgo::kQAT) tcfg.train_noise = VariabilityConfig{};
+      tcfg.scale_update = policy;
+      auto trained = train_cached(kind, mcfg, algo, data, tcfg);
+      double acc;
+      if (sigma > 0.0) {
+        const VariabilityConfig env = VariabilityConfig::within_only(vm, sigma);
+        acc = eval_mean(
+            std::string("lenet5s_A2W2_ablB_su") +
+                (policy == ScaleUpdatePolicy::kPerEpoch ? "1" : "0") + "_" +
+                env_key(env),
+            *trained.model, data.test, env, ecfg);
+      } else {
+        acc = trained.clean_test_acc;
+      }
+      row.push_back(pct(acc));
+      std::fflush(stdout);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf(
+      "\nPaper: scale recomputation frequency changes results only\n"
+      "marginally. (Our warm-started schedule recomputes per epoch by\n"
+      "default; init-only freezes the scales of the pretraining phase.)\n");
+  return 0;
+}

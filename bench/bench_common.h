@@ -1,0 +1,78 @@
+// Shared helpers for the experiment reproduction binaries.
+//
+// Every bench binary follows the same pattern: resolve the workload
+// defaults from eval/experiment.h, train (through the model cache),
+// evaluate (through the result cache), and print a TextTable matching the
+// paper's table/figure. The helpers here encode the two recurring
+// protocols:
+//
+//  * eval_mean — mean accuracy over Monte-Carlo chips, result-cached under
+//    a descriptive space-free key.
+//  * within-training for mixed deployment — the paper's self-tuning recipe
+//    trains QAVAT with *within-chip sampling only* and appends the tuning
+//    modules afterwards (§III.B last paragraph); mixed-type deployments
+//    therefore train at sigma_W = sigma_tot / sqrt(2).
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "eval/experiment.h"
+#include "eval/table.h"
+
+namespace qavat {
+namespace bench {
+
+inline std::string fmt_sigma(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+/// Percent formatting for table cells.
+inline std::string pct(double frac) { return TextTable::fmt(100.0 * frac, 1); }
+
+/// Mean Monte-Carlo accuracy with result caching. `key` must be unique per
+/// (model, deployment, self-tuning) combination and contain no spaces.
+inline double eval_mean(const std::string& key, Module& model, const Dataset& test,
+                        const VariabilityConfig& vcfg, const EvalConfig& ecfg,
+                        const SelfTuneConfig* st = nullptr) {
+  const std::string full_key = key + "_c" + std::to_string(ecfg.n_chips) + "_t" +
+                               std::to_string(ecfg.max_test_samples);
+  return with_result_cache(full_key, [&] {
+    return evaluate_under_variability(model, test, vcfg, ecfg, st).accuracy.mean;
+  });
+}
+
+inline const char* vm_key(VarianceModel m) {
+  return m == VarianceModel::kWeightProportional ? "wp" : "lf";
+}
+
+/// Key fragment describing a deployment environment.
+inline std::string env_key(const VariabilityConfig& v) {
+  std::ostringstream os;
+  os << vm_key(v.model) << "_sw" << fmt_sigma(v.sigma_w) << "_sb"
+     << fmt_sigma(v.sigma_b);
+  return os.str();
+}
+
+/// Training config for a QAVAT model destined for a *within-chip only*
+/// deployment at the given sigma.
+inline TrainConfig within_train_config(ModelKind kind, VarianceModel vm,
+                                       double sigma_w) {
+  TrainConfig t = default_train_config(kind);
+  t.train_noise = VariabilityConfig::within_only(vm, sigma_w);
+  return t;
+}
+
+/// Training config following the paper's self-tuning deployment recipe:
+/// for mixed-type deployment at sigma_tot, train with within-chip sampling
+/// at the deployment's within component sigma_tot / sqrt(2).
+inline TrainConfig mixed_deploy_train_config(ModelKind kind, VarianceModel vm,
+                                             double sigma_tot) {
+  return within_train_config(kind, vm, sigma_tot / std::sqrt(2.0));
+}
+
+}  // namespace bench
+}  // namespace qavat

@@ -1,0 +1,66 @@
+// Extension bench (paper footnote 2): self-tuning against *temporal*
+// correlated drift. eps_B(t) follows an Ornstein-Uhlenbeck process
+// (temperature drift / aging); the GTM is re-measured every k inference
+// steps. Sweeps the re-measurement interval against the drift correlation
+// time: frequent re-measurement tracks the drift; a single factory
+// calibration decays to the uncorrected level once t >> tau.
+#include "bench_common.h"
+#include "core/variability/drift.h"
+
+using namespace qavat;
+using namespace qavat::bench;
+
+int main() {
+  const ModelKind kind = ModelKind::kLeNet5s;
+  const VarianceModel vm = VarianceModel::kWeightProportional;
+  SplitDataset data = make_dataset_for(kind);
+  ModelConfig mcfg = default_model_config(kind, 4, 2);
+
+  DriftConfig dcfg;
+  dcfg.model = vm;
+  dcfg.sigma_b = 0.35;
+  dcfg.sigma_w = 0.25;
+
+  // Train per the ST recipe: within-chip sampling only.
+  TrainConfig tcfg = within_train_config(kind, vm, dcfg.sigma_w);
+  auto trained = train_cached(kind, mcfg, TrainAlgo::kQAVAT, data, tcfg);
+  std::printf("Drift extension: self-tuning vs temperature/aging drift\n");
+  std::printf("(LeNet-5s A4W2; OU drift with stationary sigma_B = %.2f;\n",
+              dcfg.sigma_b);
+  std::printf(" clean accuracy %.1f%%)\n\n", 100.0 * trained.clean_test_acc);
+
+  for (double tau : {16.0, 64.0}) {
+    dcfg.tau = tau;
+    std::printf("correlation time tau = %.0f steps\n", tau);
+    TextTable table({"remeasure every", "accuracy %", "mean |eps_hat - eps_B(t)|"});
+    for (index_t interval : {index_t{0}, index_t{64}, index_t{16}, index_t{4}, index_t{1}}) {
+      DriftEvalConfig ecfg;
+      ecfg.n_steps = fast_mode() ? 32 : 192;
+      ecfg.batch_size = 50;
+      ecfg.remeasure_interval = interval;
+      const double acc = with_result_cache(
+          "drift_tau" + std::to_string(static_cast<int>(tau)) + "_k" +
+              std::to_string(interval) + "_n" + std::to_string(ecfg.n_steps),
+          [&] {
+            return evaluate_under_drift(*trained.model, data.test, dcfg, ecfg)
+                .mean_acc;
+          });
+      DriftEvalConfig probe = ecfg;
+      probe.n_steps = fast_mode() ? 16 : 64;
+      const double staleness =
+          evaluate_under_drift(*trained.model, data.test, dcfg, probe)
+              .mean_abs_error;
+      table.add_row({interval == 0 ? "never (factory only)" : std::to_string(interval),
+                     pct(acc), TextTable::fmt(staleness, 3)});
+      std::fflush(stdout);
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected: re-measurement intervals well below tau track the drift\n"
+      "and hold accuracy; factory-only calibration decays toward the\n"
+      "uncorrected level. This realizes the generalization the paper\n"
+      "sketches in footnote 2.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 4 reproduction: ResNet-18s on the CIFAR-100 stand-in, within-chip
+// variability sweep sigma in {0.1..0.5}, for the four panels
+// (a) A4W2 weight-proportional, (b) A8W4 weight-proportional,
+// (c) A4W2 layer-fixed, (d) A8W4 layer-fixed; series: QAVAT, QAT, PTQ-VAT.
+#include "bench_common.h"
+
+using namespace qavat;
+using namespace qavat::bench;
+
+int main() {
+  const ModelKind kind = ModelKind::kResNet18s;
+  SplitDataset data = make_dataset_for(kind);
+  EvalConfig ecfg = default_eval_config(kind);
+  const double sigmas[] = {0.1, 0.3, 0.5};  // paper sweeps 5 points; 3 keep
+                                            // the shape within CPU budget
+
+  std::printf("Fig. 4: QAVAT vs QAT vs PTQ-VAT, ResNet-18s / SynthImages-100\n");
+  std::printf("(within-chip variation; mean accuracy %% over chips)\n");
+
+  int panel = 0;
+  for (VarianceModel vm :
+       {VarianceModel::kWeightProportional, VarianceModel::kLayerFixed}) {
+    for (index_t a_bits : {index_t{4}, index_t{8}}) {
+      const index_t w_bits = a_bits == 4 ? 2 : 4;
+      std::printf("\n(%c) A%lldW%lld, %s\n", 'a' + panel++,
+                  static_cast<long long>(a_bits), static_cast<long long>(w_bits),
+                  to_string(vm));
+      TextTable table({"sigma", "QAVAT", "QAT", "PTQ-VAT"});
+      ModelConfig mcfg = default_model_config(kind, a_bits, w_bits);
+
+      for (double sigma : sigmas) {
+        const VariabilityConfig env = VariabilityConfig::within_only(vm, sigma);
+        TrainConfig tcfg = within_train_config(kind, vm, sigma);
+        const std::string key_base = std::string(to_string(kind)) + "_A" +
+                                     std::to_string(a_bits) + "W" +
+                                     std::to_string(w_bits) + "_f4_" + env_key(env);
+
+        auto qavat = train_cached(kind, mcfg, TrainAlgo::kQAVAT, data, tcfg);
+        const double acc_qavat =
+            eval_mean(key_base + "_QAVAT", *qavat.model, data.test, env, ecfg);
+        qavat.model.reset();
+
+        auto qat = train_cached(kind, mcfg, TrainAlgo::kQAT, data, tcfg);
+        const double acc_qat =
+            eval_mean(key_base + "_QAT", *qat.model, data.test, env, ecfg);
+        qat.model.reset();
+
+        auto ptq = train_ptq_vat_cached(kind, mcfg, data, tcfg);
+        const double acc_ptq =
+            eval_mean(key_base + "_PTQVAT", *ptq.model, data.test, env, ecfg);
+
+        table.add_row({TextTable::fmt(sigma, 1), pct(acc_qavat), pct(acc_qat),
+                       pct(acc_ptq)});
+        std::fflush(stdout);
+      }
+      table.print();
+    }
+  }
+  std::printf(
+      "\nPaper shape: QAVAT stays nearly flat; QAT degrades sharply with\n"
+      "sigma (worse at A8W4 than A4W2); PTQ-VAT is far below at A4W2 and\n"
+      "competitive only at A8W4 / low sigma.\n");
+  return 0;
+}

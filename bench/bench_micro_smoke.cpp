@@ -1,0 +1,105 @@
+// Kernel microbenchmarks (google-benchmark): GEMM, quantized-layer forward,
+// quantizer throughput, and crossbar MVM. These are engineering benches
+// (not a paper table); they document the substrate's raw speed, which is
+// what bounds the Monte-Carlo evaluation throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/quant/qlayers.h"
+#include "core/quant/quantizer.h"
+#include "pim/chip.h"
+#include "tensor/ops.h"
+
+namespace qavat {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n});
+  fill_normal(a, rng);
+  fill_normal(b, rng);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(256);
+
+void BM_QuantizeDequantize(benchmark::State& state) {
+  Rng rng(2);
+  Tensor x({state.range(0)});
+  fill_normal(x, rng);
+  Tensor out(x.shape());
+  Tensor mask(x.shape());
+  for (auto _ : state) {
+    quantize_dequantize(x, 0.1f, 4, out, &mask);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizeDequantize)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_MmseScaleSearch(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x({state.range(0)});
+  fill_normal(x, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mmse_scale(x, 2));
+  }
+}
+BENCHMARK(BM_MmseScaleSearch)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_QuantConvForward(benchmark::State& state) {
+  Rng rng(4);
+  QuantConv2d conv(16, 16, 3, 1, 1, 4, 2, rng);
+  conv.act_quantizer().set_scale(0.1f);
+  conv.set_training(false);
+  Tensor x({8, 16, 16, 16});
+  fill_normal(x, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  // MACs per iteration: N * Cout * Cin * K^2 * OH * OW
+  state.SetItemsProcessed(state.iterations() * 8 * 16 * 16 * 9 * 16 * 16);
+}
+BENCHMARK(BM_QuantConvForward);
+
+void BM_CrossbarMvm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(5);
+  Tensor w({n, n});
+  fill_normal(w, rng);
+  CrossbarConfig cfg;
+  cfg.variability =
+      VariabilityConfig::within_only(VarianceModel::kWeightProportional, 0.3);
+  PimChip chip(cfg, 1, 0);
+  auto arr = chip.program_array(w);
+  std::vector<float> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto _ : state) {
+    auto y = arr.mvm(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_CrossbarMvm)->Arg(128)->Arg(512);
+
+void BM_VariabilitySampling(benchmark::State& state) {
+  Rng rng(6);
+  QuantLinear layer(512, 512, 4, 2, rng);
+  auto cfg = VariabilityConfig::mixed(VarianceModel::kWeightProportional, 0.5);
+  Rng noise_rng(7);
+  for (auto _ : state) {
+    sample_variability(layer, cfg, noise_rng);
+    benchmark::DoNotOptimize(layer.noise_state().eps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 512);
+}
+BENCHMARK(BM_VariabilitySampling);
+
+}  // namespace
+}  // namespace qavat
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Self-tuning overhead accounting (paper §III.B and §IV.B): area overhead
+// of LTM columns on a 512x512 array and of the per-chip GTM, plus the
+// inference-time FLOPs ratio of all tuning modules relative to the base
+// ResNet-18s with 1e5 GTM cells.
+#include "core/selftune/overhead.h"
+
+#include "bench_common.h"
+
+using namespace qavat;
+using namespace qavat::bench;
+
+int main() {
+  std::printf("Self-tuning overhead (paper SIII.B / SIV.B)\n\n");
+
+  // Area: independent of the model, a property of the array geometry.
+  TextTable area({"LTM columns", "array", "area overhead %"});
+  for (index_t ltm : {index_t{1}, index_t{8}, index_t{16}}) {
+    area.add_row({std::to_string(ltm), "512x512",
+                  TextTable::fmt(100.0 * ltm / 512.0, 2)});
+  }
+  area.print();
+  std::printf("Paper: 0.2%% at LTM=1, 3.1%% at LTM=16.\n\n");
+
+  // FLOPs ratio on ResNet-18s (1e5-cell GTM, per the paper).
+  ModelConfig mcfg = default_model_config(ModelKind::kResNet18s, 4, 2);
+  auto model = make_model(ModelKind::kResNet18s, mcfg);
+  for (QuantLayerBase* q : quant_layers(*model)) {
+    q->act_quantizer().set_scale(1.0f);  // enough for a tracing forward
+  }
+  Tensor sample({1, 3, 16, 16});
+  Rng rng(7);
+  fill_normal(sample, rng);
+
+  TextTable flops({"LTM columns", "GTM cells", "tuning FLOPs / base %"});
+  for (index_t ltm : {index_t{1}, index_t{8}, index_t{16}}) {
+    auto report = selftune_overhead(*model, sample, 100000, ltm);
+    flops.add_row({std::to_string(ltm), "100000",
+                   TextTable::fmt(100.0 * report.tuning_flops_ratio(), 2)});
+  }
+  flops.print();
+  std::printf(
+      "Paper: ~0.3%% at LTM=1, ~2.2%% at LTM=8, ~4.4%% at LTM=16 (their\n"
+      "ResNet-18 has larger fan-ins, which lowers the relative LTM cost;\n"
+      "the scaling with LTM count is the comparable quantity).\n\n");
+
+  auto report = selftune_overhead(*model, sample, 100000, 1);
+  std::printf("GTM area fraction of a 64-array chip: %.4f%% (paper: < 0.1%%)\n",
+              100.0 * report.area_gtm_fraction);
+  std::printf("Base model MACs per sample: %.0f\n", report.base_macs);
+  return 0;
+}
