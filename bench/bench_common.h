@@ -14,6 +14,7 @@
 //    therefore train at sigma_W = sigma_tot / sqrt(2).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <string>

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verify, end-to-end from a clean checkout. Safe to wire into any
+# CI runner: no network access, no system mutation, nonzero exit on any
+# configure/build/test failure.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== configure =="
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== test =="
+cd "${BUILD_DIR}"
+ctest --output-on-failure -j "${JOBS}"
+
+echo "tier-1 verify: OK"

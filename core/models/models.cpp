@@ -1,0 +1,307 @@
+#include "core/models/models.h"
+
+#include <cassert>
+
+namespace qavat {
+
+const char* to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLeNet5s: return "lenet5s";
+    case ModelKind::kVGG11s: return "vgg11s";
+    case ModelKind::kResNet18s: return "resnet18s";
+  }
+  return "?";
+}
+
+namespace {
+
+class ReluLayer : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override {
+    Tensor y = x;
+    relu_inplace(y, training_ ? &mask_ : nullptr);
+    return y;
+  }
+  Tensor backward(const Tensor& gy) override {
+    Tensor gx(gy.shape());
+    const float* g = gy.data();
+    const float* m = mask_.data();
+    float* p = gx.data();
+    for (index_t i = 0; i < gy.size(); ++i) p[i] = g[i] * m[i];
+    return gx;
+  }
+
+ private:
+  Tensor mask_;
+};
+
+class MaxPool2dLayer : public Layer {
+ public:
+  explicit MaxPool2dLayer(index_t k) : k_(k) {}
+
+  Tensor forward(const Tensor& x) override {
+    const index_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    const index_t oh = h / k_, ow = w / k_;
+    in_shape_ = x.shape();
+    Tensor y({n, c, oh, ow});
+    arg_.assign(static_cast<std::size_t>(y.size()), 0);
+    const float* px = x.data();
+    float* py = y.data();
+    for (index_t nc = 0; nc < n * c; ++nc) {
+      const float* plane = px + nc * h * w;
+      for (index_t oy = 0; oy < oh; ++oy) {
+        for (index_t ox = 0; ox < ow; ++ox) {
+          index_t best = (oy * k_) * w + ox * k_;
+          float bv = plane[best];
+          for (index_t dy = 0; dy < k_; ++dy) {
+            for (index_t dx = 0; dx < k_; ++dx) {
+              const index_t idx = (oy * k_ + dy) * w + ox * k_ + dx;
+              if (plane[idx] > bv) {
+                bv = plane[idx];
+                best = idx;
+              }
+            }
+          }
+          const index_t oidx = nc * oh * ow + oy * ow + ox;
+          py[oidx] = bv;
+          arg_[static_cast<std::size_t>(oidx)] = nc * h * w + best;
+        }
+      }
+    }
+    return y;
+  }
+
+  Tensor backward(const Tensor& gy) override {
+    Tensor gx(in_shape_);
+    float* p = gx.data();
+    const float* g = gy.data();
+    for (index_t i = 0; i < gy.size(); ++i) {
+      p[arg_[static_cast<std::size_t>(i)]] += g[i];
+    }
+    return gx;
+  }
+
+ private:
+  index_t k_;
+  std::vector<index_t> in_shape_;
+  std::vector<index_t> arg_;
+};
+
+class FlattenLayer : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override {
+    in_shape_ = x.shape();
+    Tensor y = x;
+    y.reshape({x.dim(0), x.size() / x.dim(0)});
+    return y;
+  }
+  Tensor backward(const Tensor& gy) override {
+    Tensor gx = gy;
+    gx.reshape(in_shape_);
+    return gx;
+  }
+
+ private:
+  std::vector<index_t> in_shape_;
+};
+
+/// conv1 -> relu -> conv2, plus identity (or 1x1 projection) skip, final
+/// relu. The composite owns its sublayers and wires backward by hand.
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(index_t cin, index_t cout, index_t a_bits, index_t w_bits,
+                Rng& rng)
+      : conv1_(cin, cout, 3, 1, 1, a_bits, w_bits, rng),
+        conv2_(cout, cout, 3, 1, 1, a_bits, w_bits, rng) {
+    if (cin != cout) {
+      proj_ = std::make_unique<QuantConv2d>(cin, cout, 1, 1, 0, a_bits, w_bits,
+                                            rng);
+    }
+  }
+
+  Tensor forward(const Tensor& x) override {
+    Tensor h = conv1_.forward(x);
+    relu_inplace(h, training_ ? &mask1_ : nullptr);
+    Tensor y = conv2_.forward(h);
+    Tensor s = proj_ ? proj_->forward(x) : x;
+    float* py = y.data();
+    const float* ps = s.data();
+    for (index_t i = 0; i < y.size(); ++i) py[i] += ps[i];
+    relu_inplace(y, training_ ? &mask2_ : nullptr);
+    return y;
+  }
+
+  Tensor backward(const Tensor& gy) override {
+    Tensor g(gy.shape());
+    {
+      const float* src = gy.data();
+      const float* m = mask2_.data();
+      float* dst = g.data();
+      for (index_t i = 0; i < gy.size(); ++i) dst[i] = src[i] * m[i];
+    }
+    Tensor gh = conv2_.backward(g);
+    {
+      float* p = gh.data();
+      const float* m = mask1_.data();
+      for (index_t i = 0; i < gh.size(); ++i) p[i] *= m[i];
+    }
+    Tensor gx = conv1_.backward(gh);
+    Tensor gskip = proj_ ? proj_->backward(g) : g;
+    float* p = gx.data();
+    const float* ps = gskip.data();
+    for (index_t i = 0; i < gx.size(); ++i) p[i] += ps[i];
+    return gx;
+  }
+
+  void collect_params(std::vector<Param*>& out) override {
+    conv1_.collect_params(out);
+    conv2_.collect_params(out);
+    if (proj_) proj_->collect_params(out);
+  }
+  void collect_quant(std::vector<QuantLayerBase*>& out) override {
+    conv1_.collect_quant(out);
+    conv2_.collect_quant(out);
+    if (proj_) proj_->collect_quant(out);
+  }
+  void set_training(bool training) override {
+    Layer::set_training(training);
+    conv1_.set_training(training);
+    conv2_.set_training(training);
+    if (proj_) proj_->set_training(training);
+  }
+
+ private:
+  QuantConv2d conv1_, conv2_;
+  std::unique_ptr<QuantConv2d> proj_;
+  Tensor mask1_, mask2_;
+};
+
+}  // namespace
+
+Tensor Module::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+void Module::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+}
+
+std::vector<Param*> Module::parameters() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) layer->collect_params(out);
+  return out;
+}
+
+std::vector<QuantLayerBase*> Module::quant_layers() {
+  std::vector<QuantLayerBase*> out;
+  for (auto& layer : layers_) layer->collect_quant(out);
+  return out;
+}
+
+index_t Module::parameter_count() {
+  index_t n = 0;
+  for (Param* p : parameters()) n += p->value.size();
+  return n;
+}
+
+void Module::set_training(bool training) {
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+void Module::set_quant_enabled(bool on) {
+  for (QuantLayerBase* q : quant_layers()) q->set_quant_enabled(on);
+}
+
+void Module::zero_grad() {
+  for (Param* p : parameters()) {
+    p->ensure_grad();
+    p->grad.zero();
+  }
+}
+
+std::unique_ptr<Module> make_model(ModelKind kind, const ModelConfig& cfg) {
+  auto m = std::make_unique<Module>(kind, cfg);
+  Rng rng(cfg.init_seed, static_cast<std::uint64_t>(kind));
+  const index_t a = cfg.a_bits, w = cfg.w_bits;
+  const index_t s = cfg.image_size;
+  switch (kind) {
+    case ModelKind::kLeNet5s: {
+      // 12x12 -> conv(8) -> pool 6x6 -> conv(16) -> pool 3x3 -> 84 -> nc
+      m->add_layer(std::make_unique<QuantConv2d>(cfg.in_channels, 8, 3, 1, 1, a, w, rng));
+      m->add_layer(std::make_unique<ReluLayer>());
+      m->add_layer(std::make_unique<MaxPool2dLayer>(2));
+      m->add_layer(std::make_unique<QuantConv2d>(8, 16, 3, 1, 1, a, w, rng));
+      m->add_layer(std::make_unique<ReluLayer>());
+      m->add_layer(std::make_unique<MaxPool2dLayer>(2));
+      m->add_layer(std::make_unique<FlattenLayer>());
+      const index_t flat = 16 * (s / 4) * (s / 4);
+      m->add_layer(std::make_unique<QuantLinear>(flat, 84, a, w, rng));
+      m->add_layer(std::make_unique<ReluLayer>());
+      m->add_layer(std::make_unique<QuantLinear>(84, cfg.num_classes, a, w, rng));
+      break;
+    }
+    case ModelKind::kVGG11s: {
+      // 16x16 -> [conv16, pool] -> [conv32, pool] -> [conv32, pool] -> fc
+      m->add_layer(std::make_unique<QuantConv2d>(cfg.in_channels, 16, 3, 1, 1, a, w, rng));
+      m->add_layer(std::make_unique<ReluLayer>());
+      m->add_layer(std::make_unique<MaxPool2dLayer>(2));
+      m->add_layer(std::make_unique<QuantConv2d>(16, 32, 3, 1, 1, a, w, rng));
+      m->add_layer(std::make_unique<ReluLayer>());
+      m->add_layer(std::make_unique<MaxPool2dLayer>(2));
+      m->add_layer(std::make_unique<QuantConv2d>(32, 32, 3, 1, 1, a, w, rng));
+      m->add_layer(std::make_unique<ReluLayer>());
+      m->add_layer(std::make_unique<MaxPool2dLayer>(2));
+      m->add_layer(std::make_unique<FlattenLayer>());
+      const index_t flat = 32 * (s / 8) * (s / 8);
+      m->add_layer(std::make_unique<QuantLinear>(flat, 64, a, w, rng));
+      m->add_layer(std::make_unique<ReluLayer>());
+      m->add_layer(std::make_unique<QuantLinear>(64, cfg.num_classes, a, w, rng));
+      break;
+    }
+    case ModelKind::kResNet18s: {
+      // 16x16 -> conv16 -> block(16) -> pool -> block(16->32) -> pool -> fc
+      m->add_layer(std::make_unique<QuantConv2d>(cfg.in_channels, 16, 3, 1, 1, a, w, rng));
+      m->add_layer(std::make_unique<ReluLayer>());
+      m->add_layer(std::make_unique<ResidualBlock>(16, 16, a, w, rng));
+      m->add_layer(std::make_unique<MaxPool2dLayer>(2));
+      m->add_layer(std::make_unique<ResidualBlock>(16, 32, a, w, rng));
+      m->add_layer(std::make_unique<MaxPool2dLayer>(2));
+      m->add_layer(std::make_unique<FlattenLayer>());
+      const index_t flat = 32 * (s / 4) * (s / 4);
+      m->add_layer(std::make_unique<QuantLinear>(flat, cfg.num_classes, a, w, rng));
+      break;
+    }
+  }
+  return m;
+}
+
+std::unique_ptr<Module> clone_model(Module& model) {
+  auto copy = make_model(model.kind(), model.config());
+  auto src_params = model.parameters();
+  auto dst_params = copy->parameters();
+  assert(src_params.size() == dst_params.size());
+  for (std::size_t i = 0; i < src_params.size(); ++i) {
+    assert(dst_params[i]->value.size() == src_params[i]->value.size());
+    dst_params[i]->value = src_params[i]->value;
+  }
+  auto src_q = model.quant_layers();
+  auto dst_q = copy->quant_layers();
+  for (std::size_t i = 0; i < src_q.size(); ++i) {
+    dst_q[i]->set_weight_scale(src_q[i]->weight_scale());
+    dst_q[i]->act_quantizer().set_scale(src_q[i]->act_quantizer().scale());
+    dst_q[i]->set_quant_enabled(src_q[i]->quant_enabled());
+  }
+  // Clones start in eval mode so a forward is bit-identical to the source
+  // (training mode would EMA-update the activation scales).
+  copy->set_training(false);
+  return copy;
+}
+
+std::vector<QuantLayerBase*> quant_layers(Module& m) { return m.quant_layers(); }
+
+}  // namespace qavat

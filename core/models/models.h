@@ -1,0 +1,68 @@
+// Model zoo. The paper evaluates LeNet-5, VGG-11 and ResNet-18; this
+// reproduction uses width/depth-reduced counterparts ("-s" suffix) sized
+// for the synthetic datasets so the full Monte-Carlo protocol runs on a
+// single CPU (DESIGN.md §2). Every conv/linear layer is a quant layer, so
+// variability injection and self-tuning apply to the whole network.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/quant/qlayers.h"
+
+namespace qavat {
+
+enum class ModelKind { kLeNet5s, kVGG11s, kResNet18s };
+
+const char* to_string(ModelKind kind);
+
+struct ModelConfig {
+  index_t a_bits = 4;
+  index_t w_bits = 2;
+  index_t in_channels = 1;
+  index_t image_size = 12;
+  index_t num_classes = 10;
+  std::uint64_t init_seed = 77;
+};
+
+/// A feed-forward stack of layers (composites like residual blocks are
+/// single entries) with hand-rolled backprop.
+class Module {
+ public:
+  Module(ModelKind kind, ModelConfig cfg) : kind_(kind), cfg_(cfg) {}
+
+  Tensor forward(const Tensor& x);
+  /// Backprop from dL/dlogits; accumulates parameter grads.
+  void backward(const Tensor& grad_logits);
+
+  std::vector<Param*> parameters();
+  std::vector<QuantLayerBase*> quant_layers();
+  index_t parameter_count();
+
+  void set_training(bool training);
+  void set_quant_enabled(bool on);
+  void zero_grad();
+
+  ModelKind kind() const { return kind_; }
+  const ModelConfig& config() const { return cfg_; }
+
+  void add_layer(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+ private:
+  ModelKind kind_;
+  ModelConfig cfg_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+std::unique_ptr<Module> make_model(ModelKind kind, const ModelConfig& cfg);
+
+/// Deep copy: fresh make_model + parameter values, weight scales and
+/// activation scales copied over. Used by the experiment model cache.
+std::unique_ptr<Module> clone_model(Module& model);
+
+/// All quant layers in forward order (free-function form used by benches).
+std::vector<QuantLayerBase*> quant_layers(Module& m);
+
+}  // namespace qavat

@@ -1,0 +1,310 @@
+#include "core/quant/qlayers.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qavat {
+
+namespace {
+
+// Per-row sums of a {rows, cols} matrix — the LTM's measurand (one
+// activation sum per MVM input row).
+std::vector<float> ltm_row_sums(const Tensor& m) {
+  const index_t rows = m.dim(0), cols = m.dim(1);
+  std::vector<float> sums(static_cast<std::size_t>(rows), 0.0f);
+  for (index_t r = 0; r < rows; ++r) {
+    const float* row = m.data() + r * cols;
+    float s = 0.0f;
+    for (index_t c = 0; c < cols; ++c) s += row[c];
+    sums[static_cast<std::size_t>(r)] = s;
+  }
+  return sums;
+}
+
+}  // namespace
+
+QuantLayerBase::QuantLayerBase(index_t fan_in, index_t fan_out, index_t a_bits,
+                               index_t w_bits)
+    : fan_in_(fan_in),
+      fan_out_(fan_out),
+      a_bits_(a_bits),
+      w_bits_(w_bits),
+      act_quant_(a_bits) {
+  weight_.value.resize({fan_out, fan_in});
+  bias_.value.resize({fan_out});
+}
+
+void QuantLayerBase::refresh_weight_scale() {
+  w_scale_ = mmse_scale(weight_.value, w_bits_);
+}
+
+float QuantLayerBase::dequant_weight_max() const {
+  if (!quant_enabled_ || w_scale_ <= 0.0f) return weight_.value.abs_max();
+  Tensor tmp;
+  quantize_dequantize(weight_.value, w_scale_, w_bits_, tmp);
+  return tmp.abs_max();
+}
+
+void QuantLayerBase::compute_effective_weight() {
+  if (quant_enabled_ && w_scale_ > 0.0f) {
+    quantize_dequantize(weight_.value, w_scale_, w_bits_, weff_,
+                        training_ ? &w_mask_ : nullptr);
+  } else {
+    weff_ = weight_.value;
+    if (training_) {
+      w_mask_.resize(weight_.value.shape());
+      w_mask_.fill(1.0f);
+    }
+  }
+  if (!noise_.active) return;
+  assert(noise_.eps.size() == weff_.size());
+  float* w = weff_.data();
+  const float* eps = noise_.eps.data();
+  if (noise_.model == VarianceModel::kWeightProportional) {
+    for (index_t i = 0; i < weff_.size(); ++i) {
+      w[i] *= 1.0f + eps[i] + noise_.eps_b;
+    }
+  } else {
+    const float unit = noise_.wmax;
+    for (index_t i = 0; i < weff_.size(); ++i) {
+      w[i] += (eps[i] + noise_.eps_b) * unit;
+    }
+  }
+}
+
+Tensor QuantLayerBase::quantize_input(const Tensor& x) {
+  if (training_) act_quant_.observe(x);
+  if (!quant_enabled_) {
+    if (training_) {
+      x_mask_.resize(x.shape());
+      x_mask_.fill(1.0f);
+    }
+    return x;
+  }
+  Tensor out;
+  act_quant_.quantize(x, out, training_ ? &x_mask_ : nullptr);
+  return out;
+}
+
+void QuantLayerBase::apply_correction(Tensor& y2d,
+                                      const std::vector<float>& row_sums) const {
+  if (!noise_.active || noise_.correction == CorrectionKind::kNone) return;
+  const index_t rows = y2d.dim(0), cols = y2d.dim(1);
+  float* y = y2d.data();
+  if (noise_.correction == CorrectionKind::kScale) {
+    float denom = 1.0f + noise_.eps_hat;
+    // An (unphysical) near-zero estimate would blow the correction up;
+    // clamp like a bounded-gain analog stage would.
+    if (std::fabs(denom) < 0.25f) denom = denom < 0.0f ? -0.25f : 0.25f;
+    const float g = 1.0f / denom;
+    for (index_t i = 0; i < y2d.size(); ++i) y[i] *= g;
+  } else {  // kOffset
+    assert(static_cast<index_t>(row_sums.size()) == rows);
+    const float k = noise_.eps_hat * noise_.wmax * (1.0f + noise_.ltm_err);
+    for (index_t r = 0; r < rows; ++r) {
+      const float off = k * row_sums[static_cast<std::size_t>(r)];
+      float* row = y + r * cols;
+      for (index_t c = 0; c < cols; ++c) row[c] -= off;
+    }
+  }
+}
+
+void QuantLayerBase::accumulate_weight_grad(const Tensor& grad_weff) {
+  weight_.ensure_grad();
+  const bool reparam_factor = noise_.active && reparam_ &&
+                              noise_.model == VarianceModel::kWeightProportional;
+  const bool masked = w_mask_.size() == grad_weff.size();
+  const float* g = grad_weff.data();
+  const float* eps = reparam_factor ? noise_.eps.data() : nullptr;
+  const float* m = masked ? w_mask_.data() : nullptr;
+  float* acc = weight_.grad.data();
+  for (index_t i = 0; i < grad_weff.size(); ++i) {
+    float v = g[i];
+    if (eps != nullptr) v *= 1.0f + eps[i] + noise_.eps_b;
+    if (m != nullptr) v *= m[i];
+    acc[i] += v;
+  }
+}
+
+QuantLinear::QuantLinear(index_t in, index_t out, index_t a_bits, index_t w_bits,
+                         Rng& rng)
+    : QuantLayerBase(in, out, a_bits, w_bits) {
+  fill_normal(weight_.value, rng, 0.0, std::sqrt(2.0 / static_cast<double>(in)));
+}
+
+Tensor QuantLinear::forward(const Tensor& x) {
+  assert(x.ndim() == 2 && x.dim(1) == fan_in_);
+  xq_ = quantize_input(x);
+  compute_effective_weight();
+  Tensor y = matmul_nt(xq_, weff_);
+  if (noise_.active && noise_.correction == CorrectionKind::kOffset) {
+    apply_correction(y, ltm_row_sums(xq_));
+  } else {
+    apply_correction(y, {});
+  }
+  float* py = y.data();
+  const float* pb = bias_.value.data();
+  for (index_t n = 0; n < y.dim(0); ++n) {
+    for (index_t j = 0; j < fan_out_; ++j) py[n * fan_out_ + j] += pb[j];
+  }
+  last_macs_ = static_cast<double>(fan_in_ * fan_out_);
+  last_positions_ = 1.0;
+  return y;
+}
+
+Tensor QuantLinear::backward(const Tensor& gy) {
+  assert(gy.ndim() == 2 && gy.dim(1) == fan_out_);
+  bias_.ensure_grad();
+  const float* pg = gy.data();
+  float* pb = bias_.grad.data();
+  for (index_t n = 0; n < gy.dim(0); ++n) {
+    for (index_t j = 0; j < fan_out_; ++j) pb[j] += pg[n * fan_out_ + j];
+  }
+  accumulate_weight_grad(matmul_tn(gy, xq_));
+  Tensor gx = matmul(gy, weff_);
+  if (x_mask_.size() == gx.size()) {
+    float* p = gx.data();
+    const float* m = x_mask_.data();
+    for (index_t i = 0; i < gx.size(); ++i) p[i] *= m[i];
+  }
+  return gx;
+}
+
+QuantConv2d::QuantConv2d(index_t in_channels, index_t out_channels, index_t kernel,
+                         index_t stride, index_t pad, index_t a_bits,
+                         index_t w_bits, Rng& rng)
+    : QuantLayerBase(in_channels * kernel * kernel, out_channels, a_bits, w_bits),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad) {
+  fill_normal(weight_.value, rng,
+              0.0, std::sqrt(2.0 / static_cast<double>(fan_in_)));
+}
+
+namespace {
+
+// x {N,C,H,W} -> cols {N*OH*OW, C*K*K}; row index = (n*OH + oh)*OW + ow.
+Tensor im2col(const Tensor& x, index_t k, index_t stride, index_t pad,
+              index_t oh, index_t ow) {
+  const index_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const index_t ckk = c * k * k;
+  Tensor cols({n * oh * ow, ckk});
+  const float* px = x.data();
+  float* pc = cols.data();
+  for (index_t ni = 0; ni < n; ++ni) {
+    for (index_t y = 0; y < oh; ++y) {
+      for (index_t xo = 0; xo < ow; ++xo) {
+        float* row = pc + ((ni * oh + y) * ow + xo) * ckk;
+        for (index_t ci = 0; ci < c; ++ci) {
+          const float* plane = px + (ni * c + ci) * h * w;
+          for (index_t ky = 0; ky < k; ++ky) {
+            const index_t iy = y * stride - pad + ky;
+            for (index_t kx = 0; kx < k; ++kx) {
+              const index_t ix = xo * stride - pad + kx;
+              const bool in = iy >= 0 && iy < h && ix >= 0 && ix < w;
+              row[(ci * k + ky) * k + kx] = in ? plane[iy * w + ix] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+// Scatter-add the cols gradient back to the input image layout.
+Tensor col2im(const Tensor& cols, const std::vector<index_t>& x_shape, index_t k,
+              index_t stride, index_t pad, index_t oh, index_t ow) {
+  const index_t n = x_shape[0], c = x_shape[1], h = x_shape[2], w = x_shape[3];
+  const index_t ckk = c * k * k;
+  Tensor gx(x_shape);
+  const float* pc = cols.data();
+  float* px = gx.data();
+  for (index_t ni = 0; ni < n; ++ni) {
+    for (index_t y = 0; y < oh; ++y) {
+      for (index_t xo = 0; xo < ow; ++xo) {
+        const float* row = pc + ((ni * oh + y) * ow + xo) * ckk;
+        for (index_t ci = 0; ci < c; ++ci) {
+          float* plane = px + (ni * c + ci) * h * w;
+          for (index_t ky = 0; ky < k; ++ky) {
+            const index_t iy = y * stride - pad + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (index_t kx = 0; kx < k; ++kx) {
+              const index_t ix = xo * stride - pad + kx;
+              if (ix < 0 || ix >= w) continue;
+              plane[iy * w + ix] += row[(ci * k + ky) * k + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace
+
+Tensor QuantConv2d::forward(const Tensor& x) {
+  assert(x.ndim() == 4 && x.dim(1) == in_channels_);
+  x_shape_ = x.shape();
+  const index_t n = x.dim(0);
+  const index_t oh = out_size(x.dim(2)), ow = out_size(x.dim(3));
+  Tensor xq = quantize_input(x);
+  cols_ = im2col(xq, kernel_, stride_, pad_, oh, ow);
+  compute_effective_weight();
+  Tensor y2d = matmul_nt(cols_, weff_);  // {N*OH*OW, cout}
+  if (noise_.active && noise_.correction == CorrectionKind::kOffset) {
+    apply_correction(y2d, ltm_row_sums(cols_));
+  } else {
+    apply_correction(y2d, {});
+  }
+  // Permute {N*OH*OW, cout} -> {N, cout, OH, OW} and add the bias.
+  Tensor y({n, out_channels_, oh, ow});
+  const float* p2 = y2d.data();
+  const float* pb = bias_.value.data();
+  float* py = y.data();
+  for (index_t ni = 0; ni < n; ++ni) {
+    for (index_t pos = 0; pos < oh * ow; ++pos) {
+      const float* src = p2 + (ni * oh * ow + pos) * out_channels_;
+      for (index_t co = 0; co < out_channels_; ++co) {
+        py[(ni * out_channels_ + co) * oh * ow + pos] = src[co] + pb[co];
+      }
+    }
+  }
+  last_macs_ = static_cast<double>(fan_in_ * out_channels_ * oh * ow);
+  last_positions_ = static_cast<double>(oh * ow);
+  return y;
+}
+
+Tensor QuantConv2d::backward(const Tensor& gy) {
+  assert(gy.ndim() == 4 && gy.dim(1) == out_channels_);
+  const index_t n = gy.dim(0), oh = gy.dim(2), ow = gy.dim(3);
+  // Permute to {N*OH*OW, cout} (inverse of forward's layout change).
+  Tensor gy2d({n * oh * ow, out_channels_});
+  const float* pg = gy.data();
+  float* p2 = gy2d.data();
+  bias_.ensure_grad();
+  float* pb = bias_.grad.data();
+  for (index_t ni = 0; ni < n; ++ni) {
+    for (index_t co = 0; co < out_channels_; ++co) {
+      const float* plane = pg + (ni * out_channels_ + co) * oh * ow;
+      for (index_t pos = 0; pos < oh * ow; ++pos) {
+        p2[(ni * oh * ow + pos) * out_channels_ + co] = plane[pos];
+        pb[co] += plane[pos];
+      }
+    }
+  }
+  accumulate_weight_grad(matmul_tn(gy2d, cols_));
+  Tensor dcols = matmul(gy2d, weff_);
+  Tensor gx = col2im(dcols, x_shape_, kernel_, stride_, pad_, oh, ow);
+  if (x_mask_.size() == gx.size()) {
+    float* p = gx.data();
+    const float* m = x_mask_.data();
+    for (index_t i = 0; i < gx.size(); ++i) p[i] *= m[i];
+  }
+  return gx;
+}
+
+}  // namespace qavat

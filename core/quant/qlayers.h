@@ -1,0 +1,182 @@
+// Quantized layers with hand-rolled backprop. The layer graph is small
+// enough that each layer caches its forward intermediates and implements
+// backward() directly; no general autograd.
+//
+// A quant layer's forward implements the full PIM abstraction pipeline:
+//   x -> act-quantize (DAC precision) -> analog MVM with the *effective*
+//   weights (quantized grid + injected variability) -> self-tuning
+//   correction (when active) -> + digital bias.
+// Training backprop uses STE masks through both quantizers, and the
+// reparameterized gradient (paper Eq. 2) through multiplicative noise.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/quant/quantizer.h"
+#include "core/variability/variability.h"
+#include "tensor/ops.h"
+
+namespace qavat {
+
+/// Trainable parameter with gradient and Adam state.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  Tensor adam_m;
+  Tensor adam_v;
+
+  void ensure_grad() {
+    if (grad.size() != value.size()) grad.resize(value.shape());
+  }
+};
+
+/// Correction applied by the self-tuning modules at inference time.
+/// kScale divides the analog output by (1 + eps_hat) — the GTM-only
+/// correction proper for weight-proportional variance. kOffset subtracts
+/// eps_hat * wmax * sum(x) measured through LTM columns — proper for
+/// layer-fixed variance.
+enum class CorrectionKind { kNone, kScale, kOffset };
+
+/// Per-layer variability realization, set by sample_variability() / the
+/// evaluator before a forward pass and cleared afterwards.
+struct NoiseState {
+  bool active = false;
+  VarianceModel model = VarianceModel::kWeightProportional;
+  Tensor eps;           // per-weight within-chip draw, already scaled by sigma_w
+  float eps_b = 0.0f;   // chip-level correlated deviation
+  float wmax = 0.0f;    // max |dequantized weight| at sample time (layer-fixed unit)
+  CorrectionKind correction = CorrectionKind::kNone;
+  float eps_hat = 0.0f;  // GTM estimate of eps_b (incl. measurement error)
+  float ltm_err = 0.0f;  // relative error of the LTM activation-sum readout
+
+  void clear() {
+    active = false;
+    correction = CorrectionKind::kNone;
+    eps_b = eps_hat = ltm_err = 0.0f;
+  }
+};
+
+class QuantLayerBase;
+
+/// Abstract layer: forward caches what backward needs; backward returns
+/// grad wrt input and accumulates parameter grads.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual Tensor forward(const Tensor& x) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual void collect_params(std::vector<Param*>& out) {}
+  virtual void collect_quant(std::vector<QuantLayerBase*>& out) {}
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+ protected:
+  bool training_ = true;
+};
+
+class QuantLayerBase : public Layer {
+ public:
+  QuantLayerBase(index_t fan_in, index_t fan_out, index_t a_bits, index_t w_bits);
+
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  Param& bias() { return bias_; }
+
+  index_t fan_in() const { return fan_in_; }
+  index_t fan_out() const { return fan_out_; }
+  index_t weight_bits() const { return w_bits_; }
+  index_t act_bits() const { return a_bits_; }
+
+  float weight_scale() const { return w_scale_; }
+  void set_weight_scale(float s) { w_scale_ = s; }
+  /// Recompute the MMSE grid scale from the current float weights.
+  void refresh_weight_scale();
+
+  ActQuantizer& act_quantizer() { return act_quant_; }
+  NoiseState& noise_state() { return noise_; }
+
+  void set_quant_enabled(bool on) { quant_enabled_ = on; }
+  bool quant_enabled() const { return quant_enabled_; }
+  void set_reparam(bool on) { reparam_ = on; }
+
+  /// MACs of the last forward pass, per sample.
+  double last_macs() const { return last_macs_; }
+  /// Output positions per sample of the last forward (1 for linear,
+  /// OH*OW for conv) — used by the self-tune overhead accounting.
+  double last_positions() const { return last_positions_; }
+
+  void collect_params(std::vector<Param*>& out) override {
+    out.push_back(&weight_);
+    out.push_back(&bias_);
+  }
+  void collect_quant(std::vector<QuantLayerBase*>& out) override {
+    out.push_back(this);
+  }
+
+  /// Max |dequantized weight| under the current scale (the layer-fixed
+  /// variability unit).
+  float dequant_weight_max() const;
+
+ protected:
+  /// Effective weight for the analog MVM: quantize-dequantize (when
+  /// enabled) then apply the active noise realization. Also caches the
+  /// weight STE mask for backward.
+  void compute_effective_weight();
+  /// Quantize input activations (observing ranges in training mode).
+  Tensor quantize_input(const Tensor& x);
+  /// Apply the active self-tuning correction to the 2-D analog output
+  /// {rows, fan_out}; `row_sums` holds sum_j xq_j per row (LTM measurand).
+  void apply_correction(Tensor& y2d, const std::vector<float>& row_sums) const;
+  /// Gradient wrt the quantized weight -> accumulate into weight_.grad,
+  /// applying the reparameterization factor and the weight STE mask.
+  void accumulate_weight_grad(const Tensor& grad_weff);
+
+  index_t fan_in_, fan_out_;
+  index_t a_bits_, w_bits_;
+  float w_scale_ = 0.0f;
+  bool quant_enabled_ = true;
+  bool reparam_ = true;
+  Param weight_;  // float master weights, shape {fan_out, fan_in}
+  Param bias_;    // shape {fan_out}
+  ActQuantizer act_quant_;
+  NoiseState noise_;
+  // forward caches
+  Tensor weff_;      // effective weights used by the last forward
+  Tensor w_mask_;    // weight STE mask
+  Tensor x_mask_;    // activation STE mask
+  double last_macs_ = 0.0;
+  double last_positions_ = 1.0;
+};
+
+/// Fully connected quantized layer: x {N, in} -> {N, out}.
+class QuantLinear : public QuantLayerBase {
+ public:
+  QuantLinear(index_t in, index_t out, index_t a_bits, index_t w_bits, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor xq_;  // quantized input of the last forward
+};
+
+/// 2-D convolution over NCHW via im2col: weight {cout, cin*k*k}.
+class QuantConv2d : public QuantLayerBase {
+ public:
+  QuantConv2d(index_t in_channels, index_t out_channels, index_t kernel,
+              index_t stride, index_t pad, index_t a_bits, index_t w_bits,
+              Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  index_t out_size(index_t in) const { return (in + 2 * pad_ - kernel_) / stride_ + 1; }
+
+ private:
+  index_t in_channels_, out_channels_, kernel_, stride_, pad_;
+  std::vector<index_t> x_shape_;
+  Tensor cols_;  // im2col of the quantized input {N*OH*OW, cin*k*k}
+};
+
+}  // namespace qavat

@@ -1,0 +1,53 @@
+// Uniform symmetric quantization (paper §II.A): signed b-bit grids for
+// weights (b = 2 gives the ternary {-s, 0, +s} grid), unsigned grids for
+// post-ReLU activations, STE pass-through masks for training, and the
+// MMSE grid-scale search the paper computes once at training start.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace qavat {
+
+/// Signed quantization levels for b bits: q in [-qmax, qmax].
+inline index_t signed_qmax(index_t bits) { return (index_t{1} << (bits - 1)) - 1; }
+/// Unsigned activation levels for b bits: q in [0, qmax].
+inline index_t unsigned_qmax(index_t bits) { return (index_t{1} << bits) - 1; }
+
+/// out = scale * clamp(round(x / scale), -qmax, qmax). When `ste_mask` is
+/// non-null it receives 1 where x was inside the unclipped range (the
+/// straight-through-estimator pass region) and 0 where it was clipped.
+void quantize_dequantize(const Tensor& x, float scale, index_t bits, Tensor& out,
+                         Tensor* ste_mask = nullptr);
+
+/// Grid search for the scale minimizing ||x - QDQ(x; scale, bits)||^2.
+/// Scans a multiplicative grid below the max-based scale; for ternary
+/// weights the optimum sits far below max|x|.
+float mmse_scale(const Tensor& x, index_t bits);
+
+/// Unsigned activation quantizer with an EMA-calibrated scale. In training
+/// mode each observed batch updates the scale from its max; in eval mode
+/// the scale is frozen. A scale of 0 (never set) makes quantize() the
+/// identity so float tracing works before calibration.
+class ActQuantizer {
+ public:
+  explicit ActQuantizer(index_t bits) : bits_(bits) {}
+
+  index_t bits() const { return bits_; }
+  float scale() const { return scale_; }
+  void set_scale(float s) { scale_ = s; }
+  bool calibrated() const { return scale_ > 0.0f; }
+
+  /// Update the EMA scale from the batch max (training-time calibration).
+  void observe(const Tensor& x);
+
+  /// out = scale * clamp(round(x / scale), 0, qmax); mask marks the STE
+  /// pass region (0 <= x <= scale * qmax).
+  void quantize(const Tensor& x, Tensor& out, Tensor* ste_mask = nullptr) const;
+
+ private:
+  index_t bits_;
+  float scale_ = 0.0f;
+  float ema_ = 0.9f;
+};
+
+}  // namespace qavat

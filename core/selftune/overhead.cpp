@@ -1,0 +1,34 @@
+#include "core/selftune/overhead.h"
+
+namespace qavat {
+
+namespace {
+// Reference crossbar geometry for the area accounting.
+constexpr double kArrayRows = 512.0;
+constexpr double kArrayCols = 512.0;
+constexpr double kArraysPerChip = 64.0;
+// The GTM is read once per calibration, not per inference; amortize it
+// over a nominal calibration window when charging FLOPs.
+constexpr double kGtmAmortizationWindow = 1000.0;
+}  // namespace
+
+OverheadReport selftune_overhead(Module& model, const Tensor& sample,
+                                 index_t gtm_cells, index_t ltm_columns) {
+  OverheadReport report;
+  model.forward(sample);
+  for (QuantLayerBase* q : model.quant_layers()) {
+    report.base_macs += q->last_macs();
+    // Per output position: ltm_columns redundant fan_in-sized column reads
+    // plus one correction op per output channel.
+    report.tuning_macs +=
+        q->last_positions() * (static_cast<double>(ltm_columns * q->fan_in()) +
+                               static_cast<double>(q->fan_out()));
+  }
+  report.tuning_macs += static_cast<double>(gtm_cells) / kGtmAmortizationWindow;
+  report.area_ltm_fraction = static_cast<double>(ltm_columns) / kArrayCols;
+  report.area_gtm_fraction = static_cast<double>(gtm_cells) /
+                             (kArraysPerChip * kArrayRows * kArrayCols);
+  return report;
+}
+
+}  // namespace qavat

@@ -1,0 +1,26 @@
+// Overhead accounting for the self-tuning modules (paper §III.B, §IV.B):
+// LTM area relative to a 512x512 crossbar array, GTM area relative to a
+// 64-array chip, and the inference-time tuning FLOPs relative to the base
+// model's MACs.
+#pragma once
+
+#include "core/models/models.h"
+
+namespace qavat {
+
+struct OverheadReport {
+  double base_macs = 0.0;    // base model MACs per sample
+  double tuning_macs = 0.0;  // LTM readout + correction ops per sample
+  double area_ltm_fraction = 0.0;  // ltm_columns / array columns
+  double area_gtm_fraction = 0.0;  // gtm_cells / chip device count
+  double tuning_flops_ratio() const {
+    return base_macs > 0.0 ? tuning_macs / base_macs : 0.0;
+  }
+};
+
+/// Trace one forward pass of `sample` (batch of 1+) through the model and
+/// account the self-tuning costs for the given module sizes.
+OverheadReport selftune_overhead(Module& model, const Tensor& sample,
+                                 index_t gtm_cells, index_t ltm_columns);
+
+}  // namespace qavat

@@ -1,0 +1,63 @@
+// Inference-time self-tuning (paper §III). Two on-chip modules measure
+// the chip's correlated deviation eps_B and cancel it:
+//  * GTM (global tuning module) — a spare array of `gtm_cells` devices
+//    programmed to a known value; reading them back estimates eps_B with
+//    error ~ sigma_W / sqrt(gtm_cells).
+//  * LTM (local tuning module) — `ltm_columns` extra crossbar columns per
+//    array that measure each input's activation sum, needed for the
+//    additive (layer-fixed) correction.
+// The proper correction depends on the variance model: GTM-only output
+// rescaling for weight-proportional, GTM+LTM offset subtraction for
+// layer-fixed. Applying the other model's correction is the paper's
+// "wrong self-tuning" baseline.
+#pragma once
+
+#include "core/quant/qlayers.h"
+#include "core/variability/variability.h"
+
+namespace qavat {
+
+enum class SelfTuneMode { kNone, kGtm, kGtmLtm };
+
+struct SelfTuneConfig {
+  SelfTuneMode mode = SelfTuneMode::kGtm;
+  index_t gtm_cells = 1000;
+  index_t ltm_columns = 1;
+};
+
+inline SelfTuneMode proper_mode(VarianceModel m) {
+  return m == VarianceModel::kWeightProportional ? SelfTuneMode::kGtm
+                                                 : SelfTuneMode::kGtmLtm;
+}
+
+inline SelfTuneMode wrong_mode(VarianceModel m) {
+  return m == VarianceModel::kWeightProportional ? SelfTuneMode::kGtmLtm
+                                                 : SelfTuneMode::kGtm;
+}
+
+inline CorrectionKind correction_for(SelfTuneMode mode) {
+  switch (mode) {
+    case SelfTuneMode::kNone: return CorrectionKind::kNone;
+    case SelfTuneMode::kGtm: return CorrectionKind::kScale;
+    case SelfTuneMode::kGtmLtm: return CorrectionKind::kOffset;
+  }
+  return CorrectionKind::kNone;
+}
+
+/// Simulated GTM readout: the true eps_b plus the averaged within-chip
+/// measurement error of `gtm_cells` devices.
+inline double measure_eps_b(double eps_b, double sigma_w, index_t gtm_cells,
+                            Rng& rng) {
+  if (gtm_cells <= 0) return eps_b;
+  return eps_b + rng.normal(0.0, sigma_w / std::sqrt(static_cast<double>(
+                                               gtm_cells)));
+}
+
+/// Simulated relative error of the LTM activation-sum readout, averaged
+/// over `ltm_columns` redundant columns.
+inline double ltm_readout_error(double sigma_w, index_t ltm_columns, Rng& rng) {
+  if (ltm_columns <= 0) return 0.0;
+  return rng.normal(0.0, sigma_w / std::sqrt(static_cast<double>(ltm_columns)));
+}
+
+}  // namespace qavat

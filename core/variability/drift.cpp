@@ -1,0 +1,17 @@
+#include "core/variability/drift.h"
+
+#include <cmath>
+
+namespace qavat {
+
+OuProcess::OuProcess(double tau, double stationary_sigma, Rng& rng)
+    : a_(std::exp(-1.0 / (tau > 0.0 ? tau : 1.0))),
+      innovation_sigma_(stationary_sigma * std::sqrt(1.0 - a_ * a_)),
+      x_(rng.normal(0.0, stationary_sigma)) {}
+
+double OuProcess::step(Rng& rng) {
+  x_ = a_ * x_ + rng.normal(0.0, innovation_sigma_);
+  return x_;
+}
+
+}  // namespace qavat

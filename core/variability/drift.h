@@ -1,0 +1,36 @@
+// Temporal drift extension (paper footnote 2): the between-chip deviation
+// eps_B becomes a time series eps_B(t) following a stationary
+// Ornstein-Uhlenbeck process (temperature drift / aging) with correlation
+// time tau, so a factory-time GTM measurement goes stale and the module
+// must be re-measured at inference time.
+#pragma once
+
+#include "core/variability/variability.h"
+#include "tensor/tensor.h"
+
+namespace qavat {
+
+struct DriftConfig {
+  VarianceModel model = VarianceModel::kWeightProportional;
+  double sigma_w = 0.25;  // static within-chip component
+  double sigma_b = 0.35;  // stationary std of the drifting eps_B(t)
+  double tau = 16.0;      // OU correlation time, in inference steps
+};
+
+/// Stationary OU process: x_{t+1} = a x_t + sigma sqrt(1-a^2) n_t with
+/// a = exp(-1/tau); initialized from the stationary distribution.
+class OuProcess {
+ public:
+  OuProcess(double tau, double stationary_sigma, Rng& rng);
+
+  double value() const { return x_; }
+  /// Advance one step and return the new value.
+  double step(Rng& rng);
+
+ private:
+  double a_;
+  double innovation_sigma_;
+  double x_;
+};
+
+}  // namespace qavat

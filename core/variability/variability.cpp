@@ -1,0 +1,29 @@
+#include "core/variability/variability.h"
+
+#include "core/quant/qlayers.h"
+
+namespace qavat {
+
+void sample_variability(QuantLayerBase& layer, const VariabilityConfig& cfg,
+                        Rng& rng) {
+  NoiseState& ns = layer.noise_state();
+  if (!cfg.enabled()) {
+    ns.clear();
+    return;
+  }
+  ns.model = cfg.model;
+  ns.wmax = layer.dequant_weight_max();
+  if (ns.eps.size() != layer.weight().value.size()) {
+    ns.eps.resize(layer.weight().value.shape());
+  }
+  if (cfg.sigma_w > 0.0) {
+    fill_normal(ns.eps, rng, 0.0, cfg.sigma_w);
+  } else {
+    ns.eps.zero();
+  }
+  ns.eps_b = cfg.sigma_b > 0.0 ? static_cast<float>(rng.normal(0.0, cfg.sigma_b))
+                               : 0.0f;
+  ns.active = true;
+}
+
+}  // namespace qavat

@@ -1,0 +1,59 @@
+// Conductance-variation models (paper §II.B). Two variance shapes:
+//  * kWeightProportional — std of a weight's deviation proportional to |w|
+//    (multiplicative: w_eff = w * (1 + eps)).
+//  * kLayerFixed — std fixed per layer at sigma * max|w| (additive:
+//    w_eff = w + eps * wmax).
+// Each deployment combines a *within-chip* component (iid per device,
+// sigma_w) and a *between-chip* component (one draw per chip, sigma_b)
+// that is fully correlated across the chip — the component self-tuning
+// can measure and cancel.
+#pragma once
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace qavat {
+
+enum class VarianceModel { kWeightProportional, kLayerFixed };
+
+inline const char* to_string(VarianceModel m) {
+  return m == VarianceModel::kWeightProportional ? "weight-proportional"
+                                                 : "layer-fixed";
+}
+
+struct VariabilityConfig {
+  VarianceModel model = VarianceModel::kWeightProportional;
+  double sigma_w = 0.0;  // within-chip (device-to-device) std
+  double sigma_b = 0.0;  // between-chip (correlated) std
+
+  bool enabled() const { return sigma_w > 0.0 || sigma_b > 0.0; }
+
+  static VariabilityConfig within_only(VarianceModel m, double sigma) {
+    VariabilityConfig v;
+    v.model = m;
+    v.sigma_w = sigma;
+    return v;
+  }
+
+  /// Mixed-type deployment with equal within/between components summing to
+  /// sigma_tot in quadrature: sigma_w = sigma_b = sigma_tot / sqrt(2).
+  static VariabilityConfig mixed(VarianceModel m, double sigma_tot) {
+    VariabilityConfig v;
+    v.model = m;
+    v.sigma_w = sigma_tot / std::sqrt(2.0);
+    v.sigma_b = v.sigma_w;
+    return v;
+  }
+};
+
+class QuantLayerBase;
+
+/// Draw a fresh within-chip noise realization (and a layer-local
+/// between-chip draw when cfg.sigma_b > 0) into the layer's NoiseState and
+/// activate it. Chip-level evaluation overwrites eps_b afterwards with the
+/// one shared per-chip draw.
+void sample_variability(QuantLayerBase& layer, const VariabilityConfig& cfg,
+                        Rng& rng);
+
+}  // namespace qavat

@@ -1,0 +1,163 @@
+#include "data/synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qavat {
+
+Tensor Dataset::gather_images(const std::vector<index_t>& indices) const {
+  const index_t c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  const index_t stride = c * h * w;
+  Tensor out({static_cast<index_t>(indices.size()), c, h, w});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const float* src = images.data() + indices[i] * stride;
+    std::copy(src, src + stride, out.data() + static_cast<index_t>(i) * stride);
+  }
+  return out;
+}
+
+std::vector<index_t> Dataset::gather_labels(
+    const std::vector<index_t>& indices) const {
+  std::vector<index_t> out(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[i] = labels[static_cast<std::size_t>(indices[i])];
+  }
+  return out;
+}
+
+namespace {
+
+// 3x5 digit font, row-major, one string per digit.
+const char* kDigitFont[10] = {
+    "111101101101111",  // 0
+    "010110010010111",  // 1
+    "111001111100111",  // 2
+    "111001111001111",  // 3
+    "101101111001001",  // 4
+    "111100111001111",  // 5
+    "111100111101111",  // 6
+    "111001010010010",  // 7
+    "111101111101111",  // 8
+    "111101111001111",  // 9
+};
+
+void render_digit(float* img, index_t s, index_t digit, Rng& rng, double noise,
+                  index_t jitter) {
+  // Upscale each 3x5 font cell to 2x2 -> 6x10 glyph, centered + jitter.
+  const index_t gw = 6, gh = 10;
+  const index_t dx = (s - gw) / 2 + rng.below(2 * jitter + 1) - jitter;
+  const index_t dy = (s - gh) / 2 + rng.below(2 * jitter + 1) - jitter;
+  const float amp = static_cast<float>(rng.uniform(0.7, 1.0));
+  const char* font = kDigitFont[digit];
+  for (index_t y = 0; y < gh; ++y) {
+    for (index_t x = 0; x < gw; ++x) {
+      if (font[(y / 2) * 3 + x / 2] != '1') continue;
+      const index_t py = dy + y, px = dx + x;
+      if (py < 0 || py >= s || px < 0 || px >= s) continue;
+      img[py * s + px] = amp;
+    }
+  }
+  for (index_t i = 0; i < s * s; ++i) {
+    img[i] = std::min(1.0f, std::max(0.0f, img[i] + static_cast<float>(
+                                                        rng.normal(0.0, noise))));
+  }
+}
+
+Dataset make_digit_split(const SynthDigitsConfig& cfg, index_t n, Rng& rng) {
+  Dataset d;
+  d.num_classes = 10;
+  d.images.resize({n, 1, cfg.image_size, cfg.image_size});
+  d.labels.resize(static_cast<std::size_t>(n));
+  const index_t stride = cfg.image_size * cfg.image_size;
+  for (index_t i = 0; i < n; ++i) {
+    const index_t digit = i % 10;  // balanced classes
+    d.labels[static_cast<std::size_t>(i)] = digit;
+    render_digit(d.images.data() + i * stride, cfg.image_size, digit, rng,
+                 cfg.noise, cfg.jitter);
+  }
+  return d;
+}
+
+}  // namespace
+
+SplitDataset make_synth_digits(const SynthDigitsConfig& cfg) {
+  SplitDataset s;
+  Rng train_rng(cfg.seed, 0), test_rng(cfg.seed, 1);
+  s.train = make_digit_split(cfg, cfg.n_train, train_rng);
+  s.test = make_digit_split(cfg, cfg.n_test, test_rng);
+  return s;
+}
+
+namespace {
+
+// Per-(class, channel) low-frequency prototype: mixture of 3 2-D sinusoids
+// whose frequencies/phases are drawn deterministically from the class seed.
+struct Proto {
+  double fx[3], fy[3], ph[3], w[3];
+};
+
+Proto make_proto(Rng& rng) {
+  Proto p;
+  for (int k = 0; k < 3; ++k) {
+    p.fx[k] = rng.uniform(0.5, 2.5);
+    p.fy[k] = rng.uniform(0.5, 2.5);
+    p.ph[k] = rng.uniform(0.0, 6.2831853);
+    p.w[k] = rng.uniform(0.5, 1.0);
+  }
+  return p;
+}
+
+float proto_at(const Proto& p, double u, double v) {
+  double acc = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    acc += p.w[k] * std::sin(6.2831853 * (p.fx[k] * u + p.fy[k] * v) + p.ph[k]);
+  }
+  return static_cast<float>(0.5 + acc / 6.0);  // roughly [0, 1]
+}
+
+Dataset make_image_split(const SynthImagesConfig& cfg,
+                         const std::vector<Proto>& protos, index_t n, Rng& rng) {
+  Dataset d;
+  d.num_classes = cfg.num_classes;
+  d.images.resize({n, cfg.channels, cfg.image_size, cfg.image_size});
+  d.labels.resize(static_cast<std::size_t>(n));
+  const index_t s = cfg.image_size;
+  for (index_t i = 0; i < n; ++i) {
+    const index_t cls = i % cfg.num_classes;
+    d.labels[static_cast<std::size_t>(i)] = cls;
+    const index_t sx = rng.below(s), sy = rng.below(s);  // cyclic shift
+    const float contrast = static_cast<float>(rng.uniform(0.7, 1.0));
+    for (index_t c = 0; c < cfg.channels; ++c) {
+      const Proto& p = protos[static_cast<std::size_t>(cls * cfg.channels + c)];
+      float* img = d.images.data() + (i * cfg.channels + c) * s * s;
+      for (index_t y = 0; y < s; ++y) {
+        for (index_t x = 0; x < s; ++x) {
+          const double u = static_cast<double>((x + sx) % s) / static_cast<double>(s);
+          const double v = static_cast<double>((y + sy) % s) / static_cast<double>(s);
+          float val = contrast * proto_at(p, u, v) +
+                      static_cast<float>(rng.normal(0.0, cfg.noise));
+          img[y * s + x] = std::min(1.0f, std::max(0.0f, val));
+        }
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+SplitDataset make_synth_images(const SynthImagesConfig& cfg) {
+  Rng proto_rng(cfg.seed, 7);
+  std::vector<Proto> protos;
+  protos.reserve(static_cast<std::size_t>(cfg.num_classes * cfg.channels));
+  for (index_t i = 0; i < cfg.num_classes * cfg.channels; ++i) {
+    protos.push_back(make_proto(proto_rng));
+  }
+  SplitDataset s;
+  Rng train_rng(cfg.seed, 0), test_rng(cfg.seed, 1);
+  s.train = make_image_split(cfg, protos, cfg.n_train, train_rng);
+  s.test = make_image_split(cfg, protos, cfg.n_test, test_rng);
+  return s;
+}
+
+}  // namespace qavat

@@ -1,0 +1,59 @@
+// Synthetic datasets. The container image has no dataset downloads, so the
+// reproduction swaps MNIST/CIFAR for procedurally generated stand-ins with
+// the same interface; DESIGN.md documents the substitution and what it
+// preserves (task difficulty ordering, variability sensitivity).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qavat {
+
+/// A labelled image set. Images are {N, C, H, W} in [0, 1].
+struct Dataset {
+  Tensor images;
+  std::vector<index_t> labels;
+  index_t num_classes = 0;
+
+  index_t size() const { return images.ndim() > 0 ? images.dim(0) : 0; }
+  /// Batch of images at the given indices -> {B, C, H, W}.
+  Tensor gather_images(const std::vector<index_t>& indices) const;
+  /// Labels at the given indices.
+  std::vector<index_t> gather_labels(const std::vector<index_t>& indices) const;
+};
+
+struct SplitDataset {
+  Dataset train;
+  Dataset test;
+};
+
+/// MNIST stand-in: 1x12x12 images of a 3x5 digit font, upscaled and
+/// placed with random jitter, amplitude scaling and pixel noise.
+struct SynthDigitsConfig {
+  index_t n_train = 3000;
+  index_t n_test = 500;
+  index_t image_size = 12;
+  double noise = 0.15;     // additive pixel noise stddev
+  index_t jitter = 2;      // max |shift| in pixels
+  std::uint64_t seed = 9001;
+};
+
+SplitDataset make_synth_digits(const SynthDigitsConfig& cfg);
+
+/// CIFAR stand-in: CxHxW low-frequency class prototypes (random sinusoid
+/// mixtures per class/channel) with cyclic shifts, contrast scaling and
+/// pixel noise.
+struct SynthImagesConfig {
+  index_t n_train = 2500;
+  index_t n_test = 500;
+  index_t image_size = 16;
+  index_t channels = 3;
+  index_t num_classes = 10;
+  double noise = 0.2;
+  std::uint64_t seed = 9002;
+};
+
+SplitDataset make_synth_images(const SynthImagesConfig& cfg);
+
+}  // namespace qavat

@@ -1,0 +1,154 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qavat {
+
+Stats Stats::from(const std::vector<double>& xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  s.min = s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return s;
+}
+
+namespace {
+
+double accuracy_on(Module& model, const Dataset& test, index_t max_samples,
+                   index_t batch_size) {
+  const index_t n = std::min<index_t>(test.size(), max_samples);
+  if (n <= 0) return 0.0;
+  index_t correct = 0;
+  for (index_t start = 0; start < n; start += batch_size) {
+    const index_t end = std::min(n, start + batch_size);
+    std::vector<index_t> idx(static_cast<std::size_t>(end - start));
+    for (index_t i = start; i < end; ++i) idx[static_cast<std::size_t>(i - start)] = i;
+    Tensor x = test.gather_images(idx);
+    std::vector<index_t> y = test.gather_labels(idx);
+    Tensor logits = model.forward(x);
+    index_t hits = 0;
+    softmax_xent(logits, y, nullptr, &hits);
+    correct += hits;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+void clear_all_noise(Module& model) {
+  for (QuantLayerBase* q : model.quant_layers()) q->noise_state().clear();
+}
+
+}  // namespace
+
+EvalStats evaluate_under_variability(Module& model, const Dataset& test,
+                                     const VariabilityConfig& vcfg,
+                                     const EvalConfig& ecfg,
+                                     const SelfTuneConfig* st) {
+  model.set_training(false);
+  auto qlayers = model.quant_layers();
+  std::vector<double> accs;
+  accs.reserve(static_cast<std::size_t>(ecfg.n_chips));
+  for (index_t chip = 0; chip < ecfg.n_chips; ++chip) {
+    Rng rng(ecfg.seed, static_cast<std::uint64_t>(chip));
+    // One correlated deviation per chip, shared by every layer; the GTM
+    // measures it once per chip with cell-averaged error.
+    const double eps_b =
+        vcfg.sigma_b > 0.0 ? rng.normal(0.0, vcfg.sigma_b) : 0.0;
+    const bool tune = st != nullptr && st->mode != SelfTuneMode::kNone;
+    const double eps_hat =
+        tune ? measure_eps_b(eps_b, vcfg.sigma_w, st->gtm_cells, rng) : 0.0;
+    for (QuantLayerBase* q : qlayers) {
+      sample_variability(*q, vcfg, rng);
+      NoiseState& ns = q->noise_state();
+      ns.eps_b = static_cast<float>(eps_b);
+      if (tune) {
+        ns.correction = correction_for(st->mode);
+        ns.eps_hat = static_cast<float>(eps_hat);
+        ns.ltm_err = static_cast<float>(
+            ltm_readout_error(vcfg.sigma_w, st->ltm_columns, rng));
+      }
+    }
+    accs.push_back(accuracy_on(model, test, ecfg.max_test_samples, ecfg.batch_size));
+  }
+  clear_all_noise(model);
+  EvalStats stats;
+  stats.accuracy = Stats::from(accs);
+  stats.n_chips = ecfg.n_chips;
+  return stats;
+}
+
+DriftStats evaluate_under_drift(Module& model, const Dataset& test,
+                                const DriftConfig& dcfg,
+                                const DriftEvalConfig& ecfg) {
+  model.set_training(false);
+  auto qlayers = model.quant_layers();
+  Rng rng(ecfg.seed, 0);
+
+  // Static within-chip realization (device-to-device variation does not
+  // drift); the correlated component eps_B(t) follows the OU process.
+  VariabilityConfig within =
+      VariabilityConfig::within_only(dcfg.model, dcfg.sigma_w);
+  for (QuantLayerBase* q : qlayers) {
+    sample_variability(*q, within, rng);
+    NoiseState& ns = q->noise_state();
+    if (!ns.active) {  // sigma_w == 0: pure-drift deployment still needs an
+      ns.model = dcfg.model;  // active state to carry the drifting eps_B
+      ns.wmax = q->dequant_weight_max();
+      ns.eps.resize(q->weight().value.shape());
+      ns.eps.zero();
+      ns.active = true;
+    }
+  }
+  const CorrectionKind correction = correction_for(proper_mode(dcfg.model));
+
+  OuProcess ou(dcfg.tau, dcfg.sigma_b, rng);
+  double eps_hat = measure_eps_b(ou.value(), dcfg.sigma_w, ecfg.gtm_cells, rng);
+
+  double acc_sum = 0.0, err_sum = 0.0;
+  index_t offset = 0;
+  const index_t n_test = test.size();
+  for (index_t step = 0; step < ecfg.n_steps; ++step) {
+    if (step > 0) ou.step(rng);
+    if (ecfg.remeasure_interval > 0 && step % ecfg.remeasure_interval == 0 &&
+        step > 0) {
+      eps_hat = measure_eps_b(ou.value(), dcfg.sigma_w, ecfg.gtm_cells, rng);
+    }
+    for (QuantLayerBase* q : qlayers) {
+      NoiseState& ns = q->noise_state();
+      ns.eps_b = static_cast<float>(ou.value());
+      ns.correction = correction;
+      ns.eps_hat = static_cast<float>(eps_hat);
+      ns.ltm_err = 0.0f;
+    }
+    // Evaluate one batch, cycling through the test set.
+    std::vector<index_t> idx(static_cast<std::size_t>(
+        std::min<index_t>(ecfg.batch_size, n_test)));
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      idx[i] = (offset + static_cast<index_t>(i)) % n_test;
+    }
+    offset = (offset + static_cast<index_t>(idx.size())) % n_test;
+    Tensor x = test.gather_images(idx);
+    std::vector<index_t> y = test.gather_labels(idx);
+    Tensor logits = model.forward(x);
+    index_t hits = 0;
+    softmax_xent(logits, y, nullptr, &hits);
+    acc_sum += static_cast<double>(hits) / static_cast<double>(idx.size());
+    err_sum += std::fabs(eps_hat - ou.value());
+  }
+  clear_all_noise(model);
+  DriftStats out;
+  out.mean_acc = acc_sum / static_cast<double>(ecfg.n_steps);
+  out.mean_abs_error = err_sum / static_cast<double>(ecfg.n_steps);
+  return out;
+}
+
+}  // namespace qavat

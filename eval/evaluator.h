@@ -1,0 +1,67 @@
+// Deployment evaluation. The weight-domain abstraction injects
+// variability directly on each quant layer's effective weights (fast);
+// pim/chip.h validates that this matches circuit-level conductance
+// programming (bench_pim_equivalence).
+//
+//  * evaluate_clean — noise-free test accuracy.
+//  * evaluate_under_variability — Monte-Carlo over simulated chips: one
+//    correlated eps_B draw per chip shared by all layers, iid within-chip
+//    draws per layer, optional self-tuning correction (GTM measurement
+//    error and LTM readout error included). Returns accuracy stats across
+//    chips.
+//  * evaluate_under_drift — eps_B(t) follows an OU process; the GTM is
+//    re-measured every `remeasure_interval` steps (0 = factory-time only).
+#pragma once
+
+#include "core/models/models.h"
+#include "core/selftune/selftune.h"
+#include "core/train/trainer.h"  // evaluate_clean lives at the train layer
+#include "core/variability/drift.h"
+#include "data/synth.h"
+
+namespace qavat {
+
+struct Stats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static Stats from(const std::vector<double>& xs);
+};
+
+struct EvalStats {
+  Stats accuracy;
+  index_t n_chips = 0;
+};
+
+struct EvalConfig {
+  index_t n_chips = 25;
+  index_t max_test_samples = 1 << 30;  // cap on evaluated test samples
+  index_t batch_size = 64;
+  std::uint64_t seed = 1000;  // chip Monte-Carlo seed
+};
+
+EvalStats evaluate_under_variability(Module& model, const Dataset& test,
+                                     const VariabilityConfig& vcfg,
+                                     const EvalConfig& ecfg,
+                                     const SelfTuneConfig* st = nullptr);
+
+struct DriftEvalConfig {
+  index_t n_steps = 192;
+  index_t batch_size = 50;
+  index_t remeasure_interval = 0;  // 0 = factory calibration only
+  index_t gtm_cells = 1000;
+  std::uint64_t seed = 2000;
+};
+
+struct DriftStats {
+  double mean_acc = 0.0;
+  double mean_abs_error = 0.0;  // mean |eps_hat - eps_B(t)| staleness
+};
+
+DriftStats evaluate_under_drift(Module& model, const Dataset& test,
+                                const DriftConfig& dcfg,
+                                const DriftEvalConfig& ecfg);
+
+}  // namespace qavat

@@ -1,0 +1,231 @@
+#include "eval/experiment.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace qavat {
+
+bool fast_mode() {
+  static const bool fast = [] {
+    const char* v = std::getenv("QAVAT_FAST");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return fast;
+}
+
+namespace {
+
+struct ModelSnapshot {
+  ModelKind kind;
+  ModelConfig cfg;
+  std::vector<std::vector<float>> params;
+  std::vector<float> weight_scales;
+  std::vector<float> act_scales;
+  std::vector<bool> quant_enabled;
+  double clean_test_acc = 0.0;
+};
+
+std::map<std::string, double>& result_cache() {
+  static std::map<std::string, double> cache;
+  return cache;
+}
+
+std::map<std::string, ModelSnapshot>& model_cache() {
+  static std::map<std::string, ModelSnapshot> cache;
+  return cache;
+}
+
+ModelSnapshot snapshot(Module& model, double clean_acc) {
+  ModelSnapshot s;
+  s.kind = model.kind();
+  s.cfg = model.config();
+  for (Param* p : model.parameters()) {
+    s.params.emplace_back(p->value.data(), p->value.data() + p->value.size());
+  }
+  for (QuantLayerBase* q : model.quant_layers()) {
+    s.weight_scales.push_back(q->weight_scale());
+    s.act_scales.push_back(q->act_quantizer().scale());
+    s.quant_enabled.push_back(q->quant_enabled());
+  }
+  s.clean_test_acc = clean_acc;
+  return s;
+}
+
+std::unique_ptr<Module> restore(const ModelSnapshot& s) {
+  auto model = make_model(s.kind, s.cfg);
+  auto params = model->parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float* dst = params[i]->value.data();
+    for (std::size_t j = 0; j < s.params[i].size(); ++j) dst[j] = s.params[i][j];
+  }
+  auto qs = model->quant_layers();
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    qs[i]->set_weight_scale(s.weight_scales[i]);
+    qs[i]->act_quantizer().set_scale(s.act_scales[i]);
+    qs[i]->set_quant_enabled(s.quant_enabled[i]);
+  }
+  model->set_training(false);
+  return model;
+}
+
+std::string noise_key(const VariabilityConfig& v) {
+  std::ostringstream os;
+  os << (v.model == VarianceModel::kWeightProportional ? "wp" : "lf") << "_"
+     << v.sigma_w << "_" << v.sigma_b;
+  return os.str();
+}
+
+std::string train_key(ModelKind kind, const ModelConfig& mcfg, const char* algo,
+                      const SplitDataset& data, const TrainConfig& tcfg) {
+  std::ostringstream os;
+  os << to_string(kind) << "_A" << mcfg.a_bits << "W" << mcfg.w_bits << "_nc"
+     << mcfg.num_classes << "_c" << mcfg.in_channels << "s" << mcfg.image_size
+     << "i" << mcfg.init_seed << "_" << algo << "_e" << tcfg.epochs << "_lr"
+     << tcfg.lr << "_bs" << tcfg.batch_size << "_n" << tcfg.n_variation_samples
+     << "_rp" << tcfg.reparam << "_su" << static_cast<int>(tcfg.scale_update)
+     << "_sd" << tcfg.seed << "_" << noise_key(tcfg.train_noise) << "_d"
+     << data.train.size() << "x" << data.test.size()
+     << (fast_mode() ? "_fast" : "");
+  return os.str();
+}
+
+}  // namespace
+
+double with_result_cache(const std::string& key,
+                         const std::function<double()>& fn) {
+  auto& cache = result_cache();
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const double value = fn();
+  cache.emplace(key, value);
+  return value;
+}
+
+void clear_experiment_caches() {
+  result_cache().clear();
+  model_cache().clear();
+}
+
+TrainedModel train_cached(ModelKind kind, const ModelConfig& mcfg, TrainAlgo algo,
+                          const SplitDataset& data, const TrainConfig& tcfg) {
+  const std::string key = train_key(kind, mcfg, to_string(algo), data, tcfg);
+  auto& cache = model_cache();
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    // Phase 1: QAT pretraining, cached under its own (noise-free) key so
+    // QAT and every QAVAT variant of the same workload share it.
+    TrainConfig pre = tcfg;
+    pre.train_noise = VariabilityConfig{};
+    pre.n_variation_samples = 1;
+    const std::string pre_key = train_key(kind, mcfg, "QAT", data, pre);
+    auto pre_it = cache.find(pre_key);
+    if (pre_it == cache.end()) {
+      auto model = make_model(kind, mcfg);
+      train(*model, data.train, TrainAlgo::kQAT, pre);
+      const double acc = evaluate_clean(*model, data.test);
+      pre_it = cache.emplace(pre_key, snapshot(*model, acc)).first;
+    }
+    if (algo == TrainAlgo::kQAVAT && tcfg.train_noise.enabled()) {
+      // Phase 2: noisy-forward fine-tuning from the pretrained weights.
+      auto model = restore(pre_it->second);
+      TrainConfig fine = tcfg;
+      fine.lr = tcfg.lr * 0.5;
+      train(*model, data.train, TrainAlgo::kQAVAT, fine);
+      const double acc = evaluate_clean(*model, data.test);
+      it = cache.emplace(key, snapshot(*model, acc)).first;
+    } else {
+      it = cache.find(key);
+      if (it == cache.end()) {
+        // kQAVAT with no noise degenerates to the QAT phase.
+        it = cache.emplace(key, pre_it->second).first;
+      }
+    }
+  }
+  TrainedModel out;
+  out.model = restore(it->second);
+  out.clean_test_acc = it->second.clean_test_acc;
+  return out;
+}
+
+TrainedModel train_ptq_vat_cached(ModelKind kind, const ModelConfig& mcfg,
+                                  const SplitDataset& data,
+                                  const TrainConfig& tcfg) {
+  const std::string key = train_key(kind, mcfg, "PTQVAT", data, tcfg);
+  auto& cache = model_cache();
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto model = make_model(kind, mcfg);
+    model->set_quant_enabled(false);
+    // Same total budget as the two-phase recipe: float pretrain + float VAT.
+    TrainConfig pre = tcfg;
+    pre.train_noise = VariabilityConfig{};
+    train(*model, data.train, TrainAlgo::kQAT, pre);
+    TrainConfig vat = tcfg;
+    vat.lr = tcfg.lr * 0.5;
+    train(*model, data.train, TrainAlgo::kQAVAT, vat);
+    // Post-training quantization: MMSE weight grids; activation scales
+    // were calibrated (EMA) during the float training forwards.
+    model->set_quant_enabled(true);
+    for (QuantLayerBase* q : model->quant_layers()) q->refresh_weight_scale();
+    const double acc = evaluate_clean(*model, data.test);
+    it = cache.emplace(key, snapshot(*model, acc)).first;
+  }
+  TrainedModel out;
+  out.model = restore(it->second);
+  out.clean_test_acc = it->second.clean_test_acc;
+  return out;
+}
+
+ModelConfig default_model_config(ModelKind kind, index_t a_bits, index_t w_bits) {
+  ModelConfig cfg;
+  cfg.a_bits = a_bits;
+  cfg.w_bits = w_bits;
+  if (kind == ModelKind::kLeNet5s) {
+    cfg.in_channels = 1;
+    cfg.image_size = 12;
+  } else {
+    cfg.in_channels = 3;
+    cfg.image_size = 16;
+  }
+  cfg.num_classes = 10;
+  return cfg;
+}
+
+TrainConfig default_train_config(ModelKind kind) {
+  TrainConfig cfg;
+  cfg.lr = 3e-3;
+  cfg.batch_size = 32;
+  if (kind == ModelKind::kLeNet5s) {
+    cfg.epochs = fast_mode() ? 2 : 5;
+  } else {
+    // The synthetic-image CNNs need a few epochs before accuracy leaves
+    // chance level; 1 epoch would make every bench table vacuous.
+    cfg.epochs = fast_mode() ? 3 : 6;
+  }
+  return cfg;
+}
+
+EvalConfig default_eval_config(ModelKind kind) {
+  EvalConfig cfg;
+  cfg.n_chips = fast_mode() ? 8 : 25;
+  cfg.max_test_samples = fast_mode() ? 200 : (1 << 30);
+  (void)kind;
+  return cfg;
+}
+
+SplitDataset make_dataset_for(ModelKind kind) {
+  if (kind == ModelKind::kLeNet5s) {
+    SynthDigitsConfig cfg;
+    cfg.n_train = fast_mode() ? 1500 : 3000;
+    cfg.n_test = fast_mode() ? 300 : 500;
+    return make_synth_digits(cfg);
+  }
+  SynthImagesConfig cfg;
+  cfg.n_train = fast_mode() ? 1000 : 2500;
+  cfg.n_test = fast_mode() ? 250 : 500;
+  return make_synth_images(cfg);
+}
+
+}  // namespace qavat

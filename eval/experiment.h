@@ -1,0 +1,53 @@
+// Experiment harness shared by all bench binaries: workload defaults per
+// model kind, a process-wide model cache (training is the expensive step
+// and many tables reuse the same trained model), a result cache for
+// Monte-Carlo evaluations, and the QAVAT_FAST=1 switch that shrinks every
+// budget for smoke testing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/selftune/selftune.h"
+#include "core/train/trainer.h"
+#include "data/synth.h"
+#include "eval/evaluator.h"
+
+namespace qavat {
+
+/// True when QAVAT_FAST=1 (or any non-empty value but "0") is set in the
+/// environment: smaller datasets, fewer epochs, fewer Monte-Carlo chips.
+bool fast_mode();
+
+/// Memoize a scalar result under a descriptive space-free key.
+double with_result_cache(const std::string& key,
+                         const std::function<double()>& fn);
+/// Drop all cached results and models (mainly for tests).
+void clear_experiment_caches();
+
+struct TrainedModel {
+  std::unique_ptr<Module> model;
+  double clean_test_acc = 0.0;
+};
+
+/// Train through the model cache with the paper's two-phase recipe: QAT
+/// pretraining (shared across algorithms via its own cache entry), then —
+/// for kQAVAT — noisy-forward fine-tuning at half the learning rate.
+/// Returns a private clone; callers may mutate or reset it freely.
+TrainedModel train_cached(ModelKind kind, const ModelConfig& mcfg,
+                          TrainAlgo algo, const SplitDataset& data,
+                          const TrainConfig& tcfg);
+
+/// The paper's "VAT" baseline: variability-aware training of the *float*
+/// model, then post-training quantization with MMSE scales.
+TrainedModel train_ptq_vat_cached(ModelKind kind, const ModelConfig& mcfg,
+                                  const SplitDataset& data,
+                                  const TrainConfig& tcfg);
+
+ModelConfig default_model_config(ModelKind kind, index_t a_bits, index_t w_bits);
+TrainConfig default_train_config(ModelKind kind);
+EvalConfig default_eval_config(ModelKind kind);
+SplitDataset make_dataset_for(ModelKind kind);
+
+}  // namespace qavat

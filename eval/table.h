@@ -1,0 +1,25 @@
+// Minimal fixed-width text table used by every bench binary to print
+// paper-style tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qavat {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> row);
+  void print() const;
+
+  /// Fixed-precision formatting for numeric cells.
+  static std::string fmt(double value, int decimals);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qavat

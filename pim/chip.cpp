@@ -1,0 +1,134 @@
+#include "pim/chip.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qavat {
+
+namespace {
+
+/// Symmetric mid-tread quantization with dynamic full scale (the
+/// converters range over the signal's max magnitude). bits <= 0 = ideal.
+template <typename T>
+void quantize_signal(std::vector<T>& x, index_t bits) {
+  if (bits <= 0) return;
+  double fs = 0.0;
+  for (T v : x) fs = std::max(fs, std::fabs(static_cast<double>(v)));
+  if (fs <= 0.0) return;
+  const double levels = static_cast<double>(
+      std::max<index_t>(1, (index_t{1} << (bits - 1)) - 1));
+  const double step = fs / levels;
+  for (T& v : x) {
+    v = static_cast<T>(step * std::nearbyint(static_cast<double>(v) / step));
+  }
+}
+
+}  // namespace
+
+CrossbarArray::CrossbarArray(const CrossbarConfig& cfg, const Tensor& w,
+                             double eps_b, Rng& rng)
+    : cfg_(cfg), rows_(w.dim(0)), cols_(w.dim(1)), w_ideal_(w) {
+  assert(w.ndim() == 2);
+  const float wmax = w.abs_max();
+  w_unit_ = wmax > 0.0f ? static_cast<double>(wmax) : 1.0;
+  g_pos_.resize(w.shape());
+  g_neg_.resize(w.shape());
+  const VariabilityConfig& var = cfg_.variability;
+  const float* pw = w.data();
+  float* gp = g_pos_.data();
+  float* gn = g_neg_.data();
+  for (index_t i = 0; i < w.size(); ++i) {
+    // Per-pair programming deviation: within-chip draw + chip-level eps_B.
+    float w_eff = pw[i];
+    if (var.enabled()) {
+      const float eps = var.sigma_w > 0.0
+                            ? static_cast<float>(rng.normal(0.0, var.sigma_w))
+                            : 0.0f;
+      if (var.model == VarianceModel::kWeightProportional) {
+        w_eff *= 1.0f + eps + static_cast<float>(eps_b);
+      } else {
+        w_eff += (eps + static_cast<float>(eps_b)) * static_cast<float>(w_unit_);
+      }
+    }
+    const double g = static_cast<double>(w_eff) / w_unit_ * cfg_.g_max;
+    gp[i] = g > 0.0 ? static_cast<float>(g) : 0.0f;
+    gn[i] = g < 0.0 ? static_cast<float>(-g) : 0.0f;
+  }
+}
+
+std::vector<double> CrossbarArray::mvm(const std::vector<float>& x) const {
+  assert(static_cast<index_t>(x.size()) == cols_);
+  std::vector<float> v = x;
+  quantize_signal(v, cfg_.dac_bits);  // wordline DACs
+  std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+  const float* gp = g_pos_.data();
+  const float* gn = g_neg_.data();
+  for (index_t r = 0; r < rows_; ++r) {
+    // Differential bitline currents: I+ - I- in conductance units.
+    double ip = 0.0, in = 0.0;
+    const float* rp = gp + r * cols_;
+    const float* rn = gn + r * cols_;
+    for (index_t c = 0; c < cols_; ++c) {
+      ip += static_cast<double>(rp[c]) * v[static_cast<std::size_t>(c)];
+      in += static_cast<double>(rn[c]) * v[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(r)] = (ip - in) / cfg_.g_max * w_unit_;
+  }
+  quantize_signal(y, cfg_.adc_bits);  // bitline ADCs
+  return y;
+}
+
+std::vector<double> CrossbarArray::ideal_mvm(const std::vector<float>& x) const {
+  assert(static_cast<index_t>(x.size()) == cols_);
+  std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+  const float* pw = w_ideal_.data();
+  for (index_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const float* row = pw + r * cols_;
+    for (index_t c = 0; c < cols_; ++c) {
+      acc += static_cast<double>(row[c]) * x[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+PimChip::PimChip(const CrossbarConfig& cfg, std::uint64_t seed, index_t chip_idx)
+    : cfg_(cfg), rng_(seed, static_cast<std::uint64_t>(chip_idx)) {
+  eps_b_ = cfg_.variability.sigma_b > 0.0
+               ? rng_.normal(0.0, cfg_.variability.sigma_b)
+               : 0.0;
+}
+
+CrossbarArray PimChip::program_array(const Tensor& w) {
+  return CrossbarArray(cfg_, w, eps_b_, rng_);
+}
+
+GtmColumn PimChip::program_gtm(index_t cells, double cell_weight) {
+  GtmColumn gtm;
+  gtm.cell_weight = cell_weight;
+  gtm.cells.resize(static_cast<std::size_t>(cells));
+  const VariabilityConfig& var = cfg_.variability;
+  for (auto& cell : gtm.cells) {
+    const double eps =
+        (var.sigma_w > 0.0 ? rng_.normal(0.0, var.sigma_w) : 0.0) + eps_b_;
+    if (var.model == VarianceModel::kWeightProportional) {
+      cell = static_cast<float>(cell_weight * (1.0 + eps));
+    } else {
+      cell = static_cast<float>(cell_weight + eps * std::fabs(cell_weight));
+    }
+  }
+  return gtm;
+}
+
+double PimChip::measure_eps_b(const GtmColumn& gtm) const {
+  if (gtm.cells.empty() || gtm.cell_weight == 0.0) return 0.0;
+  double mean = 0.0;
+  for (float c : gtm.cells) mean += static_cast<double>(c);
+  mean /= static_cast<double>(gtm.cells.size());
+  // Both variance models reduce to the same normalized estimator.
+  return (mean - gtm.cell_weight) / std::fabs(gtm.cell_weight);
+}
+
+}  // namespace qavat

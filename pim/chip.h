@@ -1,0 +1,78 @@
+// Circuit-level crossbar simulator — the faithful counterpart of the
+// weight-domain abstraction the training/eval pipeline uses. A weight
+// maps onto a differential conductance pair (G+, G-); programming
+// variability perturbs each synaptic pair per the configured variance
+// model (within-chip iid + the chip's correlated eps_B); the MVM applies
+// DAC-quantized wordline voltages and ADC-quantized bitline currents.
+// bench_pim_equivalence validates statistical equivalence with the
+// weight-domain injection.
+#pragma once
+
+#include <vector>
+
+#include "core/variability/variability.h"
+#include "tensor/ops.h"
+
+namespace qavat {
+
+struct CrossbarConfig {
+  VariabilityConfig variability;  // programming-noise model
+  index_t dac_bits = 0;           // wordline DAC resolution (0 = ideal)
+  index_t adc_bits = 0;           // bitline ADC resolution (0 = ideal)
+  double g_max = 1.0;             // max device conductance (arbitrary units)
+};
+
+/// One programmed crossbar array holding a {rows=fan_out, cols=fan_in}
+/// weight matrix as differential conductance pairs.
+class CrossbarArray {
+ public:
+  /// Program `w` {out, in} with the given correlated deviation eps_b and
+  /// per-pair programming noise drawn from `rng`.
+  CrossbarArray(const CrossbarConfig& cfg, const Tensor& w, double eps_b,
+                Rng& rng);
+
+  /// Analog MVM: DAC(x) -> bitline current difference -> ADC. Returns one
+  /// value per output row.
+  std::vector<double> mvm(const std::vector<float>& x) const;
+  /// Noise-free, infinite-precision reference on the ideal weights.
+  std::vector<double> ideal_mvm(const std::vector<float>& x) const;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+
+ private:
+  CrossbarConfig cfg_;
+  index_t rows_, cols_;
+  Tensor w_ideal_;   // the weights as requested
+  Tensor g_pos_, g_neg_;  // programmed (noisy) conductance planes
+  double w_unit_;    // weight represented by g_max conductance
+};
+
+/// A spare column of `cells` devices all programmed to `cell_weight`,
+/// used to estimate the chip's eps_B by reading them back.
+struct GtmColumn {
+  std::vector<float> cells;
+  double cell_weight = 1.0;
+};
+
+/// A simulated chip: owns the per-chip correlated deviation eps_B and the
+/// programming-noise stream used for every array programmed onto it.
+class PimChip {
+ public:
+  PimChip(const CrossbarConfig& cfg, std::uint64_t seed, index_t chip_idx);
+
+  CrossbarArray program_array(const Tensor& w);
+  GtmColumn program_gtm(index_t cells, double cell_weight);
+
+  /// Ground-truth correlated deviation of this chip.
+  double eps_b() const { return eps_b_; }
+  /// Estimate eps_B from a GTM readout (mean cell deviation).
+  double measure_eps_b(const GtmColumn& gtm) const;
+
+ private:
+  CrossbarConfig cfg_;
+  Rng rng_;
+  double eps_b_ = 0.0;
+};
+
+}  // namespace qavat

@@ -1,0 +1,131 @@
+#include "tensor/ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qavat {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(0));
+  const index_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t p = 0; p < k; ++p) {
+      const float av = pa[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * n;
+      float* crow = pc + i * n;
+      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1));
+  const index_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (index_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (index_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (index_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      pc[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(0) == b.dim(0));
+  const index_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (index_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * m;
+    const float* brow = pb + p * n;
+    for (index_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+void fill_normal(Tensor& t, Rng& rng) { fill_normal(t, rng, 0.0, 1.0); }
+
+void fill_normal(Tensor& t, Rng& rng, double mean, double stddev) {
+  float* p = t.data();
+  for (index_t i = 0; i < t.size(); ++i) {
+    p[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
+}
+
+void fill_uniform(Tensor& t, Rng& rng, double lo, double hi) {
+  float* p = t.data();
+  for (index_t i = 0; i < t.size(); ++i) {
+    p[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+}
+
+void relu_inplace(Tensor& x, Tensor* mask) {
+  if (mask != nullptr) mask->resize(x.shape());
+  float* p = x.data();
+  float* m = mask != nullptr ? mask->data() : nullptr;
+  for (index_t i = 0; i < x.size(); ++i) {
+    const bool pos = p[i] > 0.0f;
+    if (!pos) p[i] = 0.0f;
+    if (m != nullptr) m[i] = pos ? 1.0f : 0.0f;
+  }
+}
+
+double softmax_xent(const Tensor& logits, const std::vector<index_t>& labels,
+                    Tensor* grad, index_t* correct) {
+  assert(logits.ndim() == 2);
+  const index_t n = logits.dim(0), c = logits.dim(1);
+  assert(static_cast<index_t>(labels.size()) == n);
+  if (grad != nullptr) grad->resize(logits.shape());
+  double loss = 0.0;
+  index_t hits = 0;
+  const float* pl = logits.data();
+  for (index_t i = 0; i < n; ++i) {
+    const float* row = pl + i * c;
+    float mx = row[0];
+    index_t arg = 0;
+    for (index_t j = 1; j < c; ++j) {
+      if (row[j] > mx) {
+        mx = row[j];
+        arg = j;
+      }
+    }
+    if (arg == labels[static_cast<std::size_t>(i)]) ++hits;
+    double z = 0.0;
+    for (index_t j = 0; j < c; ++j) z += std::exp(static_cast<double>(row[j] - mx));
+    const index_t y = labels[static_cast<std::size_t>(i)];
+    const double logp = static_cast<double>(row[y] - mx) - std::log(z);
+    loss -= logp;
+    if (grad != nullptr) {
+      float* grow = grad->data() + i * c;
+      for (index_t j = 0; j < c; ++j) {
+        const double p = std::exp(static_cast<double>(row[j] - mx)) / z;
+        grow[j] = static_cast<float>((p - (j == y ? 1.0 : 0.0)) /
+                                     static_cast<double>(n));
+      }
+    }
+  }
+  if (correct != nullptr) *correct = hits;
+  return loss / static_cast<double>(n);
+}
+
+}  // namespace qavat

@@ -1,0 +1,35 @@
+// Numeric kernels over Tensor: GEMM variants, random fills, reductions,
+// and the softmax/cross-entropy pair the trainer uses. All single-threaded
+// scalar code for now — the ROADMAP backlog tracks SIMD/threading.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace qavat {
+
+/// C = A(m,k) * B(k,n). Cache-friendly ikj ordering.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A(m,k) * B(n,k)^T -> (m,n).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C = A(k,m)^T * B(k,n) -> (m,n).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// Fill with iid standard normal draws.
+void fill_normal(Tensor& t, Rng& rng);
+/// Fill with iid N(mean, stddev) draws.
+void fill_normal(Tensor& t, Rng& rng, double mean, double stddev);
+/// Fill with iid uniform draws in [lo, hi).
+void fill_uniform(Tensor& t, Rng& rng, double lo, double hi);
+
+/// In-place ReLU; optionally records the pass-through mask (1 where x > 0).
+void relu_inplace(Tensor& x, Tensor* mask = nullptr);
+
+/// Softmax cross-entropy over logits {N, C} with integer labels.
+/// Writes dL/dlogits (averaged over the batch) into `grad` when non-null.
+/// Returns the mean loss; `correct` (if non-null) gets the argmax hit count.
+double softmax_xent(const Tensor& logits, const std::vector<index_t>& labels,
+                    Tensor* grad, index_t* correct = nullptr);
+
+}  // namespace qavat

@@ -1,0 +1,73 @@
+// Dense float tensor + deterministic RNG — the bottom layer of the qavat
+// stack. Everything above (data/, core/, eval/, pim/) depends only
+// downwards; nothing here may include a header from a higher layer.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace qavat {
+
+using index_t = long long;
+
+/// Splitmix64-seeded xoshiro256** generator. Deterministic across
+/// platforms (unlike std::normal_distribution), cheap to fork into
+/// independent streams: Rng(seed, stream) gives a decorrelated stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+  std::uint64_t next_u64();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+  /// Uniform integer in [0, n).
+  index_t below(index_t n);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+/// Contiguous row-major float tensor. Shapes are small vectors of
+/// index_t; {N, C, H, W} for images, {rows, cols} for matrices.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<index_t> shape);
+  Tensor(std::vector<index_t> shape, float fill);
+
+  const std::vector<index_t>& shape() const { return shape_; }
+  index_t dim(int i) const { return shape_[static_cast<std::size_t>(i)]; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  index_t size() const { return static_cast<index_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](index_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](index_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  void reshape(std::vector<index_t> shape);
+  void resize(std::vector<index_t> shape);
+  void zero();
+  void fill(float v);
+
+  /// Max |x| over all elements (0 for an empty tensor).
+  float abs_max() const;
+
+ private:
+  std::vector<index_t> shape_;
+  std::vector<float> data_;
+};
+
+inline index_t numel(const std::vector<index_t>& shape) {
+  index_t n = 1;
+  for (index_t d : shape) n *= d;
+  return n;
+}
+
+}  // namespace qavat

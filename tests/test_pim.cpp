@@ -1,0 +1,73 @@
+// Tier-1: crossbar simulator equivalence — noise-free ideal-precision MVM
+// matches the dense reference exactly, GTM estimation error shrinks like
+// 1/sqrt(cells), DAC/ADC error shrinks with resolution.
+#include "pim/chip.h"
+
+#include "tests/test_common.h"
+
+using namespace qavat;
+
+int main() {
+  Rng rng(2);
+  Tensor w({9, 17});
+  fill_normal(w, rng);
+  std::vector<float> x(17);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  // Noise-free, infinite-precision crossbar == dense reference.
+  CrossbarConfig clean_cfg;
+  Rng prng(1);
+  CrossbarArray clean(clean_cfg, w, 0.0, prng);
+  auto y = clean.mvm(x);
+  auto ref = clean.ideal_mvm(x);
+  CHECK(y.size() == 9);
+  for (std::size_t i = 0; i < y.size(); ++i) CHECK_NEAR(y[i], ref[i], 1e-4);
+
+  // Known-weight sanity: 1x2 array computes a dot product.
+  Tensor w2({1, 2});
+  w2[0] = 0.5f;
+  w2[1] = -0.25f;
+  Rng prng2(1);
+  CrossbarArray tiny(clean_cfg, w2, 0.0, prng2);
+  auto yt = tiny.mvm({1.0f, 2.0f});
+  CHECK_NEAR(yt[0], 0.0f, 1e-5);
+
+  // GTM estimate converges to the chip's true eps_B as cells grow.
+  CrossbarConfig noisy_cfg;
+  noisy_cfg.variability =
+      VariabilityConfig::mixed(VarianceModel::kWeightProportional, 0.5);
+  double rmse_small = 0.0, rmse_large = 0.0;
+  const int chips = 80;
+  for (int c = 0; c < chips; ++c) {
+    PimChip chip(noisy_cfg, 33, c);
+    auto g1 = chip.program_gtm(16, 1.0);
+    auto g2 = chip.program_gtm(4096, 1.0);
+    rmse_small += std::pow(chip.measure_eps_b(g1) - chip.eps_b(), 2);
+    rmse_large += std::pow(chip.measure_eps_b(g2) - chip.eps_b(), 2);
+  }
+  rmse_small = std::sqrt(rmse_small / chips);
+  rmse_large = std::sqrt(rmse_large / chips);
+  CHECK(rmse_large < rmse_small);
+  const double sigma_w = noisy_cfg.variability.sigma_w;
+  CHECK_NEAR(rmse_small, sigma_w / std::sqrt(16.0), sigma_w / std::sqrt(16.0));
+  CHECK(rmse_large < 3.0 * sigma_w / std::sqrt(4096.0));
+
+  // DAC/ADC resolution: error shrinks as bits grow.
+  double prev_err = 1e9;
+  for (index_t bits : {index_t{3}, index_t{5}, index_t{8}}) {
+    CrossbarConfig qcfg;
+    qcfg.dac_bits = bits;
+    qcfg.adc_bits = bits + 2;
+    Rng prng3(1);
+    CrossbarArray arr(qcfg, w, 0.0, prng3);
+    auto yq = arr.mvm(x);
+    double err = 0.0;
+    for (std::size_t i = 0; i < yq.size(); ++i) {
+      err = std::max(err, std::fabs(static_cast<double>(yq[i]) -
+                                    static_cast<double>(ref[i])));
+    }
+    CHECK(err < prev_err + 1e-9);
+    prev_err = err;
+  }
+  return qavat::test::finish("test_pim");
+}

@@ -1,0 +1,92 @@
+// Tier-1: quantize_dequantize round-trip and STE mask, mmse_scale
+// scale-equivariance/monotonicity, activation quantizer behavior.
+#include "core/quant/quantizer.h"
+
+#include "tensor/ops.h"
+#include "tests/test_common.h"
+
+using namespace qavat;
+
+namespace {
+
+double qdq_mse(const Tensor& x, float scale, index_t bits) {
+  Tensor out;
+  quantize_dequantize(x, scale, bits, out);
+  double err = 0.0;
+  for (index_t i = 0; i < x.size(); ++i) {
+    const double d = static_cast<double>(x[i]) - static_cast<double>(out[i]);
+    err += d * d;
+  }
+  return err / static_cast<double>(x.size());
+}
+
+}  // namespace
+
+int main() {
+  // Round-trip: values already on the grid are reproduced exactly and the
+  // quantization is idempotent.
+  const float scale = 0.25f;
+  Tensor grid({7});
+  const float vals[7] = {-0.75f, -0.5f, -0.25f, 0.0f, 0.25f, 0.5f, 0.75f};
+  for (index_t i = 0; i < 7; ++i) grid[i] = vals[i];
+  Tensor out, mask;
+  quantize_dequantize(grid, scale, 4, out, &mask);
+  for (index_t i = 0; i < 7; ++i) {
+    CHECK_NEAR(out[i], grid[i], 1e-6);
+    CHECK(mask[i] == 1.0f);
+  }
+  Tensor out2;
+  quantize_dequantize(out, scale, 4, out2);
+  for (index_t i = 0; i < 7; ++i) CHECK_NEAR(out2[i], out[i], 0.0);
+
+  // Ternary (2-bit): grid is {-s, 0, +s}; out-of-range values clip and
+  // fall outside the STE pass region.
+  Tensor t({3});
+  t[0] = 0.9f;
+  t[1] = -0.04f;
+  t[2] = 0.06f;
+  quantize_dequantize(t, 0.1f, 2, out, &mask);
+  CHECK_NEAR(out[0], 0.1f, 1e-6);   // clipped to +s
+  CHECK(mask[0] == 0.0f);
+  CHECK_NEAR(out[1], 0.0f, 1e-6);
+  CHECK(mask[1] == 1.0f);
+  CHECK_NEAR(out[2], 0.1f, 1e-6);
+  CHECK(mask[2] == 1.0f);
+
+  // mmse_scale: equivariant under input scaling, beats the max-based
+  // scale for ternary on heavy-tailed data, and its MSE is monotonically
+  // non-increasing in bit width.
+  Rng rng(3);
+  Tensor w({4096});
+  fill_normal(w, rng);
+  const float s1 = mmse_scale(w, 2);
+  Tensor w2 = w;
+  for (index_t i = 0; i < w2.size(); ++i) w2[i] *= 3.0f;
+  const float s2 = mmse_scale(w2, 2);
+  CHECK_NEAR(s2 / s1, 3.0, 0.1);
+
+  const float max_based = w.abs_max() / static_cast<float>(signed_qmax(2));
+  CHECK(qdq_mse(w, s1, 2) <= qdq_mse(w, max_based, 2) + 1e-9);
+
+  double prev = 1e9;
+  for (index_t bits : {index_t{2}, index_t{3}, index_t{4}, index_t{6}}) {
+    const double err = qdq_mse(w, mmse_scale(w, bits), bits);
+    CHECK(err <= prev + 1e-12);
+    prev = err;
+  }
+
+  // Activation quantizer: EMA calibration then unsigned quantization.
+  ActQuantizer aq(4);
+  CHECK(!aq.calibrated());
+  Tensor x({100});
+  fill_uniform(x, rng, 0.0, 2.0);
+  aq.observe(x);
+  CHECK(aq.calibrated());
+  Tensor xq;
+  aq.quantize(x, xq);
+  for (index_t i = 0; i < x.size(); ++i) {
+    CHECK(xq[i] >= 0.0f);
+    CHECK_NEAR(xq[i], x[i], aq.scale() * 0.51);
+  }
+  return qavat::test::finish("test_quantizer");
+}

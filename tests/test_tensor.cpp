@@ -1,0 +1,78 @@
+// Tier-1: matmul correctness vs a naive reference, transposed variants,
+// and RNG sanity.
+#include "tensor/ops.h"
+
+#include "tests/test_common.h"
+
+using namespace qavat;
+
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const index_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (index_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * k + p]) * static_cast<double>(b[p * n + j]);
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  const index_t m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) t[j * m + i] = a[i * n + j];
+  }
+  return t;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  double m = 0.0;
+  for (index_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(11);
+  Tensor a({7, 13}), b({13, 5});
+  fill_normal(a, rng);
+  fill_normal(b, rng);
+
+  Tensor ref = naive_matmul(a, b);
+  CHECK(matmul(a, b).shape() == ref.shape());
+  CHECK(max_abs_diff(matmul(a, b), ref) < 1e-4);
+  CHECK(max_abs_diff(matmul_nt(a, transpose(b)), ref) < 1e-4);
+  CHECK(max_abs_diff(matmul_tn(transpose(a), b), ref) < 1e-4);
+
+  // RNG: deterministic given seed, roughly standard-normal moments.
+  Rng r1(5), r2(5);
+  CHECK(r1.next_u64() == r2.next_u64());
+  Rng rn(123);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rn.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  CHECK_NEAR(sum / n, 0.0, 0.03);
+  CHECK_NEAR(sum2 / n, 1.0, 0.05);
+
+  // Uniform range.
+  Rng ru(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = ru.uniform(-1.0, 1.0);
+    CHECK(u >= -1.0 && u < 1.0);
+  }
+  return qavat::test::finish("test_tensor");
+}
