@@ -6,8 +6,10 @@
 
 #include "core/quant/qlayers.h"
 #include "core/quant/quantizer.h"
+#include "eval/evaluator.h"
 #include "pim/chip.h"
 #include "tensor/ops.h"
+#include "tensor/parallel_for.h"
 
 namespace qavat {
 namespace {
@@ -25,6 +27,87 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(256);
+
+void BM_MatmulNT(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n});
+  fill_normal(a, rng);
+  fill_normal(b, rng);
+  for (auto _ : state) {
+    Tensor c = matmul_nt(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulNT)->Arg(64)->Arg(256);
+
+void BM_MatmulTN(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n});
+  fill_normal(a, rng);
+  fill_normal(b, rng);
+  for (auto _ : state) {
+    Tensor c = matmul_tn(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulTN)->Arg(64)->Arg(256);
+
+// GEMM with an explicit thread count (results are bit-identical across
+// counts; only throughput changes). Arg = threads.
+void BM_MatmulThreads(benchmark::State& state) {
+  const index_t n = 384;
+  const index_t saved = num_threads();
+  set_num_threads(state.range(0));
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n});
+  fill_normal(a, rng);
+  fill_normal(b, rng);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  set_num_threads(saved);
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// Monte-Carlo deployment evaluation of a LeNet-5s under mixed variability.
+// Arg = chip_batch (1 = sequential chip loop, 8 = noise-batched forward);
+// per-chip accuracies are identical, only throughput differs.
+void BM_MonteCarloEval(benchmark::State& state) {
+  SynthDigitsConfig dcfg;
+  dcfg.n_train = 16;
+  dcfg.n_test = 128;
+  SplitDataset data = make_synth_digits(dcfg);
+  ModelConfig mcfg;
+  mcfg.a_bits = 4;
+  mcfg.w_bits = 2;
+  mcfg.in_channels = 1;
+  mcfg.image_size = 12;
+  auto model = make_model(ModelKind::kLeNet5s, mcfg);
+  for (QuantLayerBase* q : model->quant_layers()) {
+    q->refresh_weight_scale();
+    q->act_quantizer().set_scale(0.25f);
+  }
+  model->set_training(false);
+  const VariabilityConfig vcfg =
+      VariabilityConfig::mixed(VarianceModel::kWeightProportional, 0.4);
+  EvalConfig ecfg;
+  ecfg.n_chips = 8;
+  ecfg.max_test_samples = 128;
+  ecfg.batch_size = 64;
+  ecfg.chip_batch = state.range(0);
+  for (auto _ : state) {
+    EvalStats stats = evaluate_under_variability(*model, data.test, vcfg, ecfg);
+    benchmark::DoNotOptimize(stats.accuracy.mean);
+  }
+  state.SetItemsProcessed(state.iterations() * ecfg.n_chips * 128);
+}
+BENCHMARK(BM_MonteCarloEval)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_QuantizeDequantize(benchmark::State& state) {
   Rng rng(2);

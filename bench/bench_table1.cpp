@@ -3,6 +3,8 @@
 // Columns: PTQ-VAT (the paper's "VAT" column), QAT, QAVAT; rows: ResNet-18s
 // A4W2 / A8W4, VGG-11s A4W2 / A8W4, LeNet-5s A2W2 — each on its synthetic
 // stand-in dataset (DESIGN.md §2).
+#include <chrono>
+
 #include "bench_common.h"
 
 using namespace qavat;
@@ -14,6 +16,21 @@ struct Row {
   ModelKind kind;
   index_t a_bits, w_bits;
 };
+
+// Wall time of the Monte-Carlo evaluations alone (training excluded), so
+// the batched-vs-sequential eval speedup is directly observable: compare
+// a default run against QAVAT_CHIP_BATCH=1 (identical accuracies, only
+// the wall time changes).
+double g_eval_seconds = 0.0;
+
+double timed_eval_mean(const std::string& key, Module& model, const Dataset& test,
+                       const VariabilityConfig& vcfg, const EvalConfig& ecfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const double acc = eval_mean(key, model, test, vcfg, ecfg);
+  g_eval_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return acc;
+}
 
 }  // namespace
 
@@ -44,17 +61,17 @@ int main() {
 
       auto ptq = train_ptq_vat_cached(row.kind, mcfg, data, tcfg);
       const double acc_ptq =
-          eval_mean(key_base + "_PTQVAT", *ptq.model, data.test, env, ecfg);
+          timed_eval_mean(key_base + "_PTQVAT", *ptq.model, data.test, env, ecfg);
       ptq.model.reset();
 
       auto qat = train_cached(row.kind, mcfg, TrainAlgo::kQAT, data, tcfg);
       const double acc_qat =
-          eval_mean(key_base + "_QAT", *qat.model, data.test, env, ecfg);
+          timed_eval_mean(key_base + "_QAT", *qat.model, data.test, env, ecfg);
       qat.model.reset();
 
       auto qavat = train_cached(row.kind, mcfg, TrainAlgo::kQAVAT, data, tcfg);
       const double acc_qavat =
-          eval_mean(key_base + "_QAVAT", *qavat.model, data.test, env, ecfg);
+          timed_eval_mean(key_base + "_QAVAT", *qavat.model, data.test, env, ecfg);
 
       table.add_row({to_string(row.kind),
                      std::to_string(row.a_bits) + "/" + std::to_string(row.w_bits),
@@ -68,5 +85,9 @@ int main() {
       "\nPaper (Table I, paper-scale models/datasets): QAVAT wins at every\n"
       "cell; PTQ-VAT collapses at W2; QAT collapses at high sigma, more so\n"
       "for A8W4 than A4W2.\n");
+  std::printf("\nMonte-Carlo evaluation wall time: %.2f s (chip batch %lld; "
+              "set QAVAT_CHIP_BATCH=1 for the sequential path)\n",
+              g_eval_seconds,
+              static_cast<long long>(default_eval_config(rows[0].kind).chip_batch));
   return 0;
 }

@@ -2,20 +2,32 @@
 # Tier-1 verify, end-to-end from a clean checkout. Safe to wire into any
 # CI runner: no network access, no system mutation, nonzero exit on any
 # configure/build/test failure.
+#
+# Builds and tests BOTH Release and Debug: the always-on GEMM shape checks
+# must throw in NDEBUG (Release) builds too, and Debug catches the
+# assert-based invariants — running only one config would miss a whole
+# regression class (e.g. assert-only checks compiling out under NDEBUG).
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+DEBUG_BUILD_DIR="${DEBUG_BUILD_DIR:-${REPO_ROOT}/build-debug}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-echo "== configure =="
-cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+run_suite() {
+  local dir="$1" type="$2"
 
-echo "== build =="
-cmake --build "${BUILD_DIR}" -j "${JOBS}"
+  echo "== configure (${type}) =="
+  cmake -B "${dir}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE="${type}"
 
-echo "== test =="
-cd "${BUILD_DIR}"
-ctest --output-on-failure -j "${JOBS}"
+  echo "== build (${type}) =="
+  cmake --build "${dir}" -j "${JOBS}"
 
-echo "tier-1 verify: OK"
+  echo "== test (${type}) =="
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+run_suite "${BUILD_DIR}" Release
+run_suite "${DEBUG_BUILD_DIR}" Debug
+
+echo "tier-1 verify: OK (Release + Debug)"

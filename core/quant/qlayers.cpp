@@ -2,6 +2,11 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/parallel_for.h"
 
 namespace qavat {
 
@@ -19,6 +24,42 @@ std::vector<float> ltm_row_sums(const Tensor& m) {
     sums[static_cast<std::size_t>(r)] = s;
   }
   return sums;
+}
+
+// True when the noise-batched input is `nb` bit-identical chip blocks —
+// always the case at the first quant layer of a batched Monte-Carlo
+// forward (every simulated chip sees the same test images), never after
+// it (per-chip weights diverge the activations, so the memcmp fails on
+// the first few bytes and costs next to nothing).
+bool chip_blocks_identical(const Tensor& x, index_t nb) {
+  const index_t block = x.size() / nb;
+  const float* p = x.data();
+  for (index_t b = 1; b < nb; ++b) {
+    if (std::memcmp(p, p + b * block,
+                    static_cast<std::size_t>(block) * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// First chip block of a batched input as its own tensor (leading dim
+// divided by nb).
+Tensor first_chip_block(const Tensor& x, index_t nb) {
+  std::vector<index_t> shape = x.shape();
+  shape[0] /= nb;
+  Tensor out(std::move(shape));
+  std::memcpy(out.data(), x.data(),
+              static_cast<std::size_t>(out.size()) * sizeof(float));
+  return out;
+}
+
+// Tile per-row LTM sums of a shared block out to all nb chip blocks.
+std::vector<float> tile_row_sums(const std::vector<float>& sums, index_t nb) {
+  std::vector<float> out;
+  out.reserve(sums.size() * static_cast<std::size_t>(nb));
+  for (index_t b = 0; b < nb; ++b) out.insert(out.end(), sums.begin(), sums.end());
+  return out;
 }
 
 }  // namespace
@@ -46,6 +87,62 @@ float QuantLayerBase::dequant_weight_max() const {
 }
 
 void QuantLayerBase::compute_effective_weight() {
+  const index_t nb = noise_batch();
+  if (nb > 1) {
+    // Noise-batched (inference-only) path: one shared quantize-dequantize
+    // pass, then `nb` stacked per-chip perturbations. Per-chip arithmetic
+    // is identical to the scalar path below, so a batched forward is
+    // bit-identical to nb sequential single-chip forwards.
+    if (training_) {
+      throw std::logic_error(
+          "compute_effective_weight: batched noise is inference-only");
+    }
+    if (weff_revision_ == noise_.revision &&
+        weff_.size() == nb * weight_.value.size()) {
+      return;  // same chip group as the last forward — weff_ still valid
+    }
+    if (quant_enabled_ && w_scale_ > 0.0f) {
+      quantize_dequantize(weight_.value, w_scale_, w_bits_, wq_base_, nullptr);
+    } else {
+      wq_base_ = weight_.value;
+    }
+    const index_t wsize = weight_.value.size();
+    if (noise_.eps.size() != nb * wsize ||
+        static_cast<index_t>(noise_.eps_b_v.size()) != nb) {
+      throw std::invalid_argument(
+          "compute_effective_weight: noise state not sized for batch " +
+          std::to_string(nb) + " (use ensure_noise_batch)");
+    }
+    weff_.resize({nb * fan_out_, fan_in_});
+    const float* base = wq_base_.data();
+    const float* eps_all = noise_.eps.data();
+    float* out_all = weff_.data();
+    const bool wp = noise_.model == VarianceModel::kWeightProportional;
+    const float unit = noise_.wmax;
+    auto fill_slots = [&](index_t b0, index_t b1) {
+      for (index_t b = b0; b < b1; ++b) {
+        const float eps_b = noise_.eps_b_v[static_cast<std::size_t>(b)];
+        const float* eps = eps_all + b * wsize;
+        float* out = out_all + b * wsize;
+        if (wp) {
+          for (index_t i = 0; i < wsize; ++i) {
+            out[i] = base[i] * (1.0f + eps[i] + eps_b);
+          }
+        } else {
+          for (index_t i = 0; i < wsize; ++i) {
+            out[i] = base[i] + (eps[i] + eps_b) * unit;
+          }
+        }
+      }
+    };
+    if (nb * wsize < (index_t{1} << 20)) {
+      fill_slots(index_t{0}, nb);  // too small to pay a thread fork
+    } else {
+      parallel_for(index_t{0}, nb, index_t{1}, fill_slots);
+    }
+    weff_revision_ = noise_.revision;
+    return;
+  }
   if (quant_enabled_ && w_scale_ > 0.0f) {
     quantize_dequantize(weight_.value, w_scale_, w_bits_, weff_,
                         training_ ? &w_mask_ : nullptr);
@@ -72,6 +169,38 @@ void QuantLayerBase::compute_effective_weight() {
   }
 }
 
+bool QuantLayerBase::batched_input_shared(const Tensor& x, index_t nb,
+                                          const char* who) const {
+  if (nb <= 1) return false;
+  if (x.dim(0) % nb != 0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": input rows not divisible by noise batch " +
+                                std::to_string(nb));
+  }
+  return chip_blocks_identical(x, nb);
+}
+
+Tensor QuantLayerBase::quantize_forward_input(const Tensor& x, index_t nb,
+                                              bool shared) {
+  if (!shared) return quantize_input(x);
+  const Tensor x0 = first_chip_block(x, nb);
+  return quantize_input(x0);
+}
+
+Tensor QuantLayerBase::analog_matmul(const Tensor& a2d, index_t nb,
+                                     bool shared) const {
+  Tensor y = nb <= 1   ? matmul_nt(a2d, weff_)
+             : shared  ? matmul_nt_shared(a2d, weff_, nb)
+                       : matmul_nt_batched(a2d, weff_, nb);
+  if (noise_.active && noise_.correction == CorrectionKind::kOffset) {
+    std::vector<float> sums = ltm_row_sums(a2d);
+    apply_correction(y, shared ? tile_row_sums(sums, nb) : sums);
+  } else {
+    apply_correction(y, {});
+  }
+  return y;
+}
+
 Tensor QuantLayerBase::quantize_input(const Tensor& x) {
   if (training_) act_quant_.observe(x);
   if (!quant_enabled_) {
@@ -90,21 +219,30 @@ void QuantLayerBase::apply_correction(Tensor& y2d,
                                       const std::vector<float>& row_sums) const {
   if (!noise_.active || noise_.correction == CorrectionKind::kNone) return;
   const index_t rows = y2d.dim(0), cols = y2d.dim(1);
+  const index_t nb = noise_.batch;
+  const index_t rows_per = nb > 1 ? rows / nb : rows;  // rows per chip slot
   float* y = y2d.data();
-  if (noise_.correction == CorrectionKind::kScale) {
-    float denom = 1.0f + noise_.eps_hat;
-    // An (unphysical) near-zero estimate would blow the correction up;
-    // clamp like a bounded-gain analog stage would.
-    if (std::fabs(denom) < 0.25f) denom = denom < 0.0f ? -0.25f : 0.25f;
-    const float g = 1.0f / denom;
-    for (index_t i = 0; i < y2d.size(); ++i) y[i] *= g;
-  } else {  // kOffset
-    assert(static_cast<index_t>(row_sums.size()) == rows);
-    const float k = noise_.eps_hat * noise_.wmax * (1.0f + noise_.ltm_err);
-    for (index_t r = 0; r < rows; ++r) {
-      const float off = k * row_sums[static_cast<std::size_t>(r)];
-      float* row = y + r * cols;
-      for (index_t c = 0; c < cols; ++c) row[c] -= off;
+  for (index_t b = 0; b < (nb > 1 ? nb : 1); ++b) {
+    const float eps_hat =
+        nb > 1 ? noise_.eps_hat_v[static_cast<std::size_t>(b)] : noise_.eps_hat;
+    const float ltm_err =
+        nb > 1 ? noise_.ltm_err_v[static_cast<std::size_t>(b)] : noise_.ltm_err;
+    const index_t r0 = b * rows_per, r1 = r0 + rows_per;
+    if (noise_.correction == CorrectionKind::kScale) {
+      float denom = 1.0f + eps_hat;
+      // An (unphysical) near-zero estimate would blow the correction up;
+      // clamp like a bounded-gain analog stage would.
+      if (std::fabs(denom) < 0.25f) denom = denom < 0.0f ? -0.25f : 0.25f;
+      const float g = 1.0f / denom;
+      for (index_t i = r0 * cols; i < r1 * cols; ++i) y[i] *= g;
+    } else {  // kOffset
+      assert(static_cast<index_t>(row_sums.size()) == rows);
+      const float k = eps_hat * noise_.wmax * (1.0f + ltm_err);
+      for (index_t r = r0; r < r1; ++r) {
+        const float off = k * row_sums[static_cast<std::size_t>(r)];
+        float* row = y + r * cols;
+        for (index_t c = 0; c < cols; ++c) row[c] -= off;
+      }
     }
   }
 }
@@ -134,14 +272,11 @@ QuantLinear::QuantLinear(index_t in, index_t out, index_t a_bits, index_t w_bits
 
 Tensor QuantLinear::forward(const Tensor& x) {
   assert(x.ndim() == 2 && x.dim(1) == fan_in_);
-  xq_ = quantize_input(x);
+  const index_t nb = noise_batch();
+  const bool shared = batched_input_shared(x, nb, "QuantLinear::forward");
+  xq_ = quantize_forward_input(x, nb, shared);
   compute_effective_weight();
-  Tensor y = matmul_nt(xq_, weff_);
-  if (noise_.active && noise_.correction == CorrectionKind::kOffset) {
-    apply_correction(y, ltm_row_sums(xq_));
-  } else {
-    apply_correction(y, {});
-  }
+  Tensor y = analog_matmul(xq_, nb, shared);
   float* py = y.data();
   const float* pb = bias_.value.data();
   for (index_t n = 0; n < y.dim(0); ++n) {
@@ -154,6 +289,9 @@ Tensor QuantLinear::forward(const Tensor& x) {
 
 Tensor QuantLinear::backward(const Tensor& gy) {
   assert(gy.ndim() == 2 && gy.dim(1) == fan_out_);
+  if (noise_batch() > 1) {
+    throw std::logic_error("QuantLinear::backward: batched noise is eval-only");
+  }
   bias_.ensure_grad();
   const float* pg = gy.data();
   float* pb = bias_.grad.data();
@@ -248,18 +386,18 @@ Tensor col2im(const Tensor& cols, const std::vector<index_t>& x_shape, index_t k
 
 Tensor QuantConv2d::forward(const Tensor& x) {
   assert(x.ndim() == 4 && x.dim(1) == in_channels_);
+  const index_t nb = noise_batch();
+  const bool shared = batched_input_shared(x, nb, "QuantConv2d::forward");
   x_shape_ = x.shape();
   const index_t n = x.dim(0);
   const index_t oh = out_size(x.dim(2)), ow = out_size(x.dim(3));
-  Tensor xq = quantize_input(x);
+  Tensor xq = quantize_forward_input(x, nb, shared);
   cols_ = im2col(xq, kernel_, stride_, pad_, oh, ow);
   compute_effective_weight();
-  Tensor y2d = matmul_nt(cols_, weff_);  // {N*OH*OW, cout}
-  if (noise_.active && noise_.correction == CorrectionKind::kOffset) {
-    apply_correction(y2d, ltm_row_sums(cols_));
-  } else {
-    apply_correction(y2d, {});
-  }
+  // Chip-major image groups stay chip-major in the im2col row order, so
+  // the grouped GEMM multiplies each chip's rows by its own weights (or
+  // broadcasts the shared block when the chip inputs are identical).
+  Tensor y2d = analog_matmul(cols_, nb, shared);  // {N*OH*OW, cout}
   // Permute {N*OH*OW, cout} -> {N, cout, OH, OW} and add the bias.
   Tensor y({n, out_channels_, oh, ow});
   const float* p2 = y2d.data();
@@ -280,6 +418,9 @@ Tensor QuantConv2d::forward(const Tensor& x) {
 
 Tensor QuantConv2d::backward(const Tensor& gy) {
   assert(gy.ndim() == 4 && gy.dim(1) == out_channels_);
+  if (noise_batch() > 1) {
+    throw std::logic_error("QuantConv2d::backward: batched noise is eval-only");
+  }
   const index_t n = gy.dim(0), oh = gy.dim(2), ow = gy.dim(3);
   // Permute to {N*OH*OW, cout} (inverse of forward's layout change).
   Tensor gy2d({n * oh * ow, out_channels_});

@@ -40,20 +40,44 @@ enum class CorrectionKind { kNone, kScale, kOffset };
 
 /// Per-layer variability realization, set by sample_variability() / the
 /// evaluator before a forward pass and cleared afterwards.
+///
+/// The state optionally carries a *noise-batch axis* of `batch` simulated
+/// chips (ensure_noise_batch / sample_variability_slot in
+/// core/variability/variability.h): `eps` then holds `batch` stacked
+/// per-weight draws and the *_v vectors hold one chip-level value per
+/// slot. A forward pass with batch > 1 treats its input rows as `batch`
+/// equal chip-major groups and multiplies each group by that chip's
+/// effective weights — the batched Monte-Carlo evaluation path. With
+/// batch == 1 the scalar fields drive the (unchanged) single-chip path.
 struct NoiseState {
   bool active = false;
   VarianceModel model = VarianceModel::kWeightProportional;
-  Tensor eps;           // per-weight within-chip draw, already scaled by sigma_w
+  Tensor eps;           // per-weight within-chip draw(s), already scaled by
+                        // sigma_w; {batch, fan_out, fan_in} when batch > 1
+  index_t batch = 1;    // noise-batch axis: simulated chips per forward
   float eps_b = 0.0f;   // chip-level correlated deviation
   float wmax = 0.0f;    // max |dequantized weight| at sample time (layer-fixed unit)
   CorrectionKind correction = CorrectionKind::kNone;
   float eps_hat = 0.0f;  // GTM estimate of eps_b (incl. measurement error)
   float ltm_err = 0.0f;  // relative error of the LTM activation-sum readout
+  // Per-slot chip-level values, used instead of the scalars when batch > 1.
+  std::vector<float> eps_b_v;
+  std::vector<float> eps_hat_v;
+  std::vector<float> ltm_err_v;
+  // Bumped on every mutation (sampling, resizing, clearing); lets the
+  // batched forward reuse its stacked effective weights across the test
+  // batches of one chip group instead of rebuilding them per batch.
+  std::uint64_t revision = 0;
 
   void clear() {
     active = false;
     correction = CorrectionKind::kNone;
     eps_b = eps_hat = ltm_err = 0.0f;
+    batch = 1;
+    eps_b_v.clear();
+    eps_hat_v.clear();
+    ltm_err_v.clear();
+    ++revision;
   }
 };
 
@@ -118,13 +142,33 @@ class QuantLayerBase : public Layer {
   /// variability unit).
   float dequant_weight_max() const;
 
+  /// Active noise-batch width: chips simulated per forward (1 = scalar
+  /// path). Inputs to forward() must carry rows_per_chip * noise_batch()
+  /// rows, grouped chip-major.
+  index_t noise_batch() const { return noise_.active ? noise_.batch : 1; }
+
  protected:
   /// Effective weight for the analog MVM: quantize-dequantize (when
-  /// enabled) then apply the active noise realization. Also caches the
-  /// weight STE mask for backward.
+  /// enabled) then apply the active noise realization. With a noise batch
+  /// of B, builds B stacked effective-weight blocks {B*fan_out, fan_in}
+  /// from one shared quantize-dequantize pass (inference only). Also
+  /// caches the weight STE mask for backward in training mode.
   void compute_effective_weight();
   /// Quantize input activations (observing ranges in training mode).
   Tensor quantize_input(const Tensor& x);
+  /// Validate a noise-batched input's leading dimension and detect the
+  /// shared-input case (all nb chip blocks bit-identical — true at the
+  /// first quant layer of a batched Monte-Carlo forward). Throws
+  /// std::invalid_argument when the rows don't divide by nb.
+  bool batched_input_shared(const Tensor& x, index_t nb, const char* who) const;
+  /// quantize_input of either the full input or, when `shared`, just its
+  /// first chip block (the broadcast fast path).
+  Tensor quantize_forward_input(const Tensor& x, index_t nb, bool shared);
+  /// Analog MVM of the (possibly chip-grouped) 2-D activations against
+  /// the effective weights, plus the self-tuning correction: dispatches
+  /// the plain / grouped / shared NT GEMM and feeds the LTM row sums
+  /// (tiled when the input is shared).
+  Tensor analog_matmul(const Tensor& a2d, index_t nb, bool shared) const;
   /// Apply the active self-tuning correction to the 2-D analog output
   /// {rows, fan_out}; `row_sums` holds sum_j xq_j per row (LTM measurand).
   void apply_correction(Tensor& y2d, const std::vector<float>& row_sums) const;
@@ -143,6 +187,10 @@ class QuantLayerBase : public Layer {
   NoiseState noise_;
   // forward caches
   Tensor weff_;      // effective weights used by the last forward
+                     // ({noise batch * fan_out, fan_in} when batched)
+  Tensor wq_base_;   // shared quantize-dequantize result for batched noise
+  std::uint64_t weff_revision_ = ~std::uint64_t{0};  // NoiseState revision
+                     // the batched weff_ was built from (cache key)
   Tensor w_mask_;    // weight STE mask
   Tensor x_mask_;    // activation STE mask
   double last_macs_ = 0.0;

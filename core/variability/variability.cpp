@@ -1,5 +1,8 @@
 #include "core/variability/variability.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "core/quant/qlayers.h"
 
 namespace qavat {
@@ -13,6 +16,7 @@ void sample_variability(QuantLayerBase& layer, const VariabilityConfig& cfg,
   }
   ns.model = cfg.model;
   ns.wmax = layer.dequant_weight_max();
+  ns.batch = 1;  // scalar sampling always collapses a batched state
   if (ns.eps.size() != layer.weight().value.size()) {
     ns.eps.resize(layer.weight().value.shape());
   }
@@ -23,6 +27,59 @@ void sample_variability(QuantLayerBase& layer, const VariabilityConfig& cfg,
   }
   ns.eps_b = cfg.sigma_b > 0.0 ? static_cast<float>(rng.normal(0.0, cfg.sigma_b))
                                : 0.0f;
+  ns.active = true;
+  ++ns.revision;
+}
+
+void ensure_noise_batch(QuantLayerBase& layer, index_t batch) {
+  if (batch < 1) {
+    throw std::invalid_argument("ensure_noise_batch: batch must be >= 1, got " +
+                                std::to_string(batch));
+  }
+  NoiseState& ns = layer.noise_state();
+  ns.batch = batch;
+  const auto& wshape = layer.weight().value.shape();
+  ns.eps.resize({batch, wshape[0], wshape[1]});
+  ns.eps_b_v.assign(static_cast<std::size_t>(batch), 0.0f);
+  ns.eps_hat_v.assign(static_cast<std::size_t>(batch), 0.0f);
+  ns.ltm_err_v.assign(static_cast<std::size_t>(batch), 0.0f);
+  ++ns.revision;
+}
+
+void sample_variability_slot(QuantLayerBase& layer, const VariabilityConfig& cfg,
+                             Rng& rng, index_t slot) {
+  NoiseState& ns = layer.noise_state();
+  const index_t wsize = layer.weight().value.size();
+  if (slot < 0 || slot >= ns.batch || ns.eps.size() != ns.batch * wsize) {
+    throw std::invalid_argument(
+        "sample_variability_slot: slot " + std::to_string(slot) +
+        " outside prepared batch (call ensure_noise_batch first)");
+  }
+  float* eps = ns.eps.data() + slot * wsize;
+  ++ns.revision;
+  if (!cfg.enabled()) {
+    for (index_t i = 0; i < wsize; ++i) eps[i] = 0.0f;
+    ns.eps_b_v[static_cast<std::size_t>(slot)] = 0.0f;
+    return;
+  }
+  ns.model = cfg.model;
+  // wmax is a property of the frozen weights, not of the chip: compute it
+  // once per group (slot 0) instead of once per chip — the value is
+  // bit-identical across slots, and dequant_weight_max runs a full
+  // quantize-dequantize pass per call.
+  if (slot == 0) ns.wmax = layer.dequant_weight_max();
+  // Same draw order as sample_variability: the within-chip field first,
+  // then the layer-local between-chip value (overwritten by the evaluator
+  // with the chip-shared draw, but consuming the same RNG stream).
+  if (cfg.sigma_w > 0.0) {
+    for (index_t i = 0; i < wsize; ++i) {
+      eps[i] = static_cast<float>(rng.normal(0.0, cfg.sigma_w));
+    }
+  } else {
+    for (index_t i = 0; i < wsize; ++i) eps[i] = 0.0f;
+  }
+  ns.eps_b_v[static_cast<std::size_t>(slot)] =
+      cfg.sigma_b > 0.0 ? static_cast<float>(rng.normal(0.0, cfg.sigma_b)) : 0.0f;
   ns.active = true;
 }
 

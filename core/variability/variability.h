@@ -56,4 +56,18 @@ class QuantLayerBase;
 void sample_variability(QuantLayerBase& layer, const VariabilityConfig& cfg,
                         Rng& rng);
 
+/// Size the layer's NoiseState for a noise batch of `batch` simulated
+/// chips: eps becomes {batch, fan_out, fan_in} and the per-slot chip-level
+/// vectors (eps_b/eps_hat/ltm_err) get `batch` zeroed entries. Does not
+/// activate the state; fill slots with sample_variability_slot().
+void ensure_noise_batch(QuantLayerBase& layer, index_t batch);
+
+/// Slot-wise counterpart of sample_variability for a batched NoiseState:
+/// fills slot `slot` with the exact same RNG draw sequence (so a chip
+/// sampled into a slot is identical to the same chip sampled via
+/// sample_variability from the same Rng state). With cfg disabled the slot
+/// is zeroed and no RNG draws are consumed, mirroring the scalar path.
+void sample_variability_slot(QuantLayerBase& layer, const VariabilityConfig& cfg,
+                             Rng& rng, index_t slot);
+
 }  // namespace qavat

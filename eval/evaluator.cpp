@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace qavat {
 
@@ -47,6 +48,90 @@ void clear_all_noise(Module& model) {
   for (QuantLayerBase* q : model.quant_layers()) q->noise_state().clear();
 }
 
+// Draw chip `chip`'s full noise realization into slot `slot` of every
+// layer's batched state. The RNG is seeded explicitly from the chip index
+// — Rng(seed, chip) — and the draw order (chip eps_B, GTM measurement,
+// then per layer: within-chip field, layer eps_B, LTM error) matches the
+// sequential path exactly, so batched and sequential evaluation sample
+// identical chips.
+void sample_chip_into_slot(std::vector<QuantLayerBase*>& qlayers,
+                           const VariabilityConfig& vcfg, const EvalConfig& ecfg,
+                           const SelfTuneConfig* st, index_t chip, index_t slot) {
+  Rng rng(ecfg.seed, static_cast<std::uint64_t>(chip));
+  const double eps_b = vcfg.sigma_b > 0.0 ? rng.normal(0.0, vcfg.sigma_b) : 0.0;
+  const bool tune = st != nullptr && st->mode != SelfTuneMode::kNone;
+  const double eps_hat =
+      tune ? measure_eps_b(eps_b, vcfg.sigma_w, st->gtm_cells, rng) : 0.0;
+  for (QuantLayerBase* q : qlayers) {
+    sample_variability_slot(*q, vcfg, rng, slot);
+    NoiseState& ns = q->noise_state();
+    ns.eps_b_v[static_cast<std::size_t>(slot)] = static_cast<float>(eps_b);
+    if (tune) {
+      ns.correction = correction_for(st->mode);
+      ns.eps_hat_v[static_cast<std::size_t>(slot)] = static_cast<float>(eps_hat);
+      ns.ltm_err_v[static_cast<std::size_t>(slot)] = static_cast<float>(
+          ltm_readout_error(vcfg.sigma_w, st->ltm_columns, rng));
+    }
+    if (ns.batch == 1) {
+      // A single-chip group (e.g. the ragged tail of n_chips % chip_batch
+      // == 1) runs through the scalar forward path, which reads the
+      // scalar fields — mirror slot 0 into them.
+      ns.eps_b = ns.eps_b_v[0];
+      ns.eps_hat = ns.eps_hat_v[0];
+      ns.ltm_err = ns.ltm_err_v[0];
+    }
+  }
+}
+
+// Accuracy of `nb` chips in one pass: every test chunk is tiled chip-major
+// to {nb*rows, ...} and sent through a single noise-batched forward, so
+// each chip's logits are bit-identical to a sequential single-chip
+// forward. The chunk is batch_size / nb test rows, keeping the tiled
+// forward the same size as a sequential batch — larger tiles thrash the
+// cache on the un-pooled CNN activations and erase the batching win. The
+// chunking does not affect results: every per-row computation (quantize,
+// im2col, GEMM row bands anchored at each chip's row 0, pooling, softmax
+// argmax) is independent of how many rows share a forward.
+void accuracy_batched(Module& model, const Dataset& test, const EvalConfig& ecfg,
+                      index_t nb, double* out_accs) {
+  const index_t n = std::min<index_t>(test.size(), ecfg.max_test_samples);
+  if (n <= 0) {
+    for (index_t b = 0; b < nb; ++b) out_accs[b] = 0.0;
+    return;
+  }
+  const index_t chunk = std::max<index_t>(1, ecfg.batch_size / nb);
+  std::vector<index_t> correct(static_cast<std::size_t>(nb), 0);
+  for (index_t start = 0; start < n; start += chunk) {
+    const index_t end = std::min(n, start + chunk);
+    const index_t rows = end - start;
+    std::vector<index_t> idx(static_cast<std::size_t>(rows));
+    for (index_t i = 0; i < rows; ++i) idx[static_cast<std::size_t>(i)] = start + i;
+    std::vector<index_t> idx_tiled;
+    idx_tiled.reserve(static_cast<std::size_t>(nb * rows));
+    for (index_t b = 0; b < nb; ++b) {
+      idx_tiled.insert(idx_tiled.end(), idx.begin(), idx.end());
+    }
+    Tensor x = test.gather_images(idx_tiled);
+    const std::vector<index_t> y = test.gather_labels(idx);
+    Tensor logits = model.forward(x);  // {nb*rows, classes}
+    const index_t classes = logits.dim(1);
+    Tensor block({rows, classes});
+    for (index_t b = 0; b < nb; ++b) {
+      std::memcpy(block.data(), logits.data() + b * rows * classes,
+                  static_cast<std::size_t>(rows * classes) * sizeof(float));
+      index_t hits = 0;
+      softmax_xent(block, y, nullptr, &hits);
+      correct[static_cast<std::size_t>(b)] += hits;
+    }
+  }
+  for (index_t b = 0; b < nb; ++b) {
+    out_accs[b] = static_cast<double>(correct[static_cast<std::size_t>(b)]) /
+                  static_cast<double>(n);
+  }
+}
+
+constexpr index_t kDefaultChipBatch = 8;
+
 }  // namespace
 
 EvalStats evaluate_under_variability(Module& model, const Dataset& test,
@@ -55,34 +140,54 @@ EvalStats evaluate_under_variability(Module& model, const Dataset& test,
                                      const SelfTuneConfig* st) {
   model.set_training(false);
   auto qlayers = model.quant_layers();
+  index_t chip_batch = ecfg.chip_batch > 0 ? ecfg.chip_batch : kDefaultChipBatch;
+  chip_batch = std::max<index_t>(1, std::min(chip_batch, ecfg.n_chips));
   std::vector<double> accs;
-  accs.reserve(static_cast<std::size_t>(ecfg.n_chips));
-  for (index_t chip = 0; chip < ecfg.n_chips; ++chip) {
-    Rng rng(ecfg.seed, static_cast<std::uint64_t>(chip));
-    // One correlated deviation per chip, shared by every layer; the GTM
-    // measures it once per chip with cell-averaged error.
-    const double eps_b =
-        vcfg.sigma_b > 0.0 ? rng.normal(0.0, vcfg.sigma_b) : 0.0;
-    const bool tune = st != nullptr && st->mode != SelfTuneMode::kNone;
-    const double eps_hat =
-        tune ? measure_eps_b(eps_b, vcfg.sigma_w, st->gtm_cells, rng) : 0.0;
-    for (QuantLayerBase* q : qlayers) {
-      sample_variability(*q, vcfg, rng);
-      NoiseState& ns = q->noise_state();
-      ns.eps_b = static_cast<float>(eps_b);
-      if (tune) {
-        ns.correction = correction_for(st->mode);
-        ns.eps_hat = static_cast<float>(eps_hat);
-        ns.ltm_err = static_cast<float>(
-            ltm_readout_error(vcfg.sigma_w, st->ltm_columns, rng));
+  accs.reserve(static_cast<std::size_t>(std::max<index_t>(0, ecfg.n_chips)));
+  if (chip_batch <= 1) {
+    // Sequential reference path: one chip per pass over the test set.
+    for (index_t chip = 0; chip < ecfg.n_chips; ++chip) {
+      Rng rng(ecfg.seed, static_cast<std::uint64_t>(chip));
+      // One correlated deviation per chip, shared by every layer; the GTM
+      // measures it once per chip with cell-averaged error.
+      const double eps_b =
+          vcfg.sigma_b > 0.0 ? rng.normal(0.0, vcfg.sigma_b) : 0.0;
+      const bool tune = st != nullptr && st->mode != SelfTuneMode::kNone;
+      const double eps_hat =
+          tune ? measure_eps_b(eps_b, vcfg.sigma_w, st->gtm_cells, rng) : 0.0;
+      for (QuantLayerBase* q : qlayers) {
+        sample_variability(*q, vcfg, rng);
+        NoiseState& ns = q->noise_state();
+        ns.eps_b = static_cast<float>(eps_b);
+        if (tune) {
+          ns.correction = correction_for(st->mode);
+          ns.eps_hat = static_cast<float>(eps_hat);
+          ns.ltm_err = static_cast<float>(
+              ltm_readout_error(vcfg.sigma_w, st->ltm_columns, rng));
+        }
       }
+      accs.push_back(
+          accuracy_on(model, test, ecfg.max_test_samples, ecfg.batch_size));
     }
-    accs.push_back(accuracy_on(model, test, ecfg.max_test_samples, ecfg.batch_size));
+  } else {
+    // Batched path: chips in groups of chip_batch, one noise-batched
+    // forward per test batch per group.
+    for (index_t chip0 = 0; chip0 < ecfg.n_chips; chip0 += chip_batch) {
+      const index_t nb = std::min(chip_batch, ecfg.n_chips - chip0);
+      for (QuantLayerBase* q : qlayers) ensure_noise_batch(*q, nb);
+      for (index_t b = 0; b < nb; ++b) {
+        sample_chip_into_slot(qlayers, vcfg, ecfg, st, chip0 + b, b);
+      }
+      std::vector<double> group_accs(static_cast<std::size_t>(nb), 0.0);
+      accuracy_batched(model, test, ecfg, nb, group_accs.data());
+      accs.insert(accs.end(), group_accs.begin(), group_accs.end());
+    }
   }
   clear_all_noise(model);
   EvalStats stats;
   stats.accuracy = Stats::from(accs);
   stats.n_chips = ecfg.n_chips;
+  stats.per_chip_acc = std::move(accs);
   return stats;
 }
 

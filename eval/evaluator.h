@@ -9,6 +9,13 @@
 //    draws per layer, optional self-tuning correction (GTM measurement
 //    error and LTM readout error included). Returns accuracy stats across
 //    chips.
+//
+//    Chips are evaluated `chip_batch` at a time through one noise-batched
+//    forward per test batch (the effective weights carry a per-chip axis;
+//    see NoiseState). Determinism contract: chip c's realization is drawn
+//    from Rng(seed, c) — explicit in the chip index, never in evaluation
+//    order — so every chip_batch (including 1, the sequential path)
+//    produces bit-identical per-chip accuracies.
 //  * evaluate_under_drift — eps_B(t) follows an OU process; the GTM is
 //    re-measured every `remeasure_interval` steps (0 = factory-time only).
 #pragma once
@@ -33,6 +40,8 @@ struct Stats {
 struct EvalStats {
   Stats accuracy;
   index_t n_chips = 0;
+  std::vector<double> per_chip_acc;  // accuracy of each simulated chip, in
+                                     // chip-index order
 };
 
 struct EvalConfig {
@@ -40,6 +49,9 @@ struct EvalConfig {
   index_t max_test_samples = 1 << 30;  // cap on evaluated test samples
   index_t batch_size = 64;
   std::uint64_t seed = 1000;  // chip Monte-Carlo seed
+  index_t chip_batch = 0;     // chips per noise-batched forward; 0 = default
+                              // (8), 1 = sequential single-chip evaluation.
+                              // Any value yields identical per-chip results.
 };
 
 EvalStats evaluate_under_variability(Module& model, const Dataset& test,

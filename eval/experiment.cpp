@@ -211,6 +211,18 @@ EvalConfig default_eval_config(ModelKind kind) {
   EvalConfig cfg;
   cfg.n_chips = fast_mode() ? 8 : 25;
   cfg.max_test_samples = fast_mode() ? 200 : (1 << 30);
+  // Noise-batched Monte-Carlo: simulate 8 chips per forward by default
+  // (identical per-chip results to sequential evaluation; see
+  // eval/evaluator.h). QAVAT_CHIP_BATCH overrides, 1 = sequential.
+  static const index_t chip_batch = [] {
+    const char* v = std::getenv("QAVAT_CHIP_BATCH");
+    if (v != nullptr && v[0] != '\0') {
+      const long n = std::strtol(v, nullptr, 10);
+      if (n > 0) return static_cast<index_t>(n);
+    }
+    return index_t{8};
+  }();
+  cfg.chip_batch = chip_batch;
   (void)kind;
   return cfg;
 }

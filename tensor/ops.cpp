@@ -1,64 +1,366 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "tensor/parallel_for.h"
+
+// SIMD hints for the inner loops. -fopenmp-simd (no OpenMP runtime) turns
+// these into vectorization directives; without it they expand to nothing
+// and the plain loops still auto-vectorize where the compiler can prove it.
+#if defined(QAVAT_OMP_SIMD)
+#define QAVAT_PRAGMA(x) _Pragma(#x)
+#define QAVAT_SIMD QAVAT_PRAGMA(omp simd)
+#else
+#define QAVAT_SIMD
+#endif
 
 namespace qavat {
 
+namespace {
+
+// ---------------------------------------------------------------- checks
+
+std::string shape_str(const Tensor& t) {
+  std::ostringstream os;
+  os << "{";
+  for (int i = 0; i < t.ndim(); ++i) os << (i ? "," : "") << t.dim(i);
+  os << "}";
+  return os.str();
+}
+
+// Always-on (independent of NDEBUG): a mismatched GEMM must fail loudly
+// in Release builds instead of silently reading out of bounds.
+void check_gemm_2d(const char* name, const Tensor& a, const Tensor& b,
+                   int a_match, int b_match) {
+  if (a.ndim() != 2 || b.ndim() != 2) {
+    throw std::invalid_argument(std::string(name) + ": operands must be 2-D, got " +
+                                shape_str(a) + " and " + shape_str(b));
+  }
+  if (a.dim(a_match) != b.dim(b_match)) {
+    throw std::invalid_argument(std::string(name) + ": inner dimensions differ, got " +
+                                shape_str(a) + " and " + shape_str(b));
+  }
+}
+
+// ---------------------------------------------------------------- kernels
+//
+// All cores operate on a row range [i0, i1) of the output and are pure
+// serial code; parallel_for splits rows across threads with boundaries
+// aligned to kRowBlock, so each row is always processed by the same code
+// path (block vs. remainder) with the same per-element operation order —
+// the bit-identity guarantee in ops.h.
+
+constexpr index_t kRowBlock = 4;   // register-blocked output rows
+constexpr index_t kJTile = 32;     // C columns accumulated in registers
+constexpr index_t kMinMacsPerChunk = index_t{1} << 19;  // thread grain target
+constexpr index_t kSerialMacs = index_t{1} << 21;       // below: never fork
+
+// 4 x kJTile register tile shared by all three GEMM kernels: the C tile
+// stays in vector registers across the whole contraction, the p-th B row
+// slice is read at `pb + p*bstride + bj0`, and the per-element
+// accumulation order (ascending p from 0.0f) matches a naive triple loop.
+// `LoadA` maps (p, r) to the A element for C row i+r — the only
+// difference between the NN (row-major A) and TN (transposed A) kernels;
+// the NT kernel feeds a transposed-packed B panel instead.
+template <index_t JR, typename LoadA>
+inline void mul_tile4(const LoadA& load_a, const float* pb, index_t bstride,
+                      index_t bj0, float* pc, index_t i, index_t j0, index_t jr,
+                      index_t k, index_t n) {
+  float acc0[JR], acc1[JR], acc2[JR], acc3[JR];
+  for (index_t jj = 0; jj < jr; ++jj) {
+    acc0[jj] = acc1[jj] = acc2[jj] = acc3[jj] = 0.0f;
+  }
+  for (index_t p = 0; p < k; ++p) {
+    const float* brow = pb + p * bstride + bj0;
+    const float av0 = load_a(p, 0), av1 = load_a(p, 1);
+    const float av2 = load_a(p, 2), av3 = load_a(p, 3);
+    QAVAT_SIMD
+    for (index_t jj = 0; jj < jr; ++jj) {
+      acc0[jj] += av0 * brow[jj];
+      acc1[jj] += av1 * brow[jj];
+      acc2[jj] += av2 * brow[jj];
+      acc3[jj] += av3 * brow[jj];
+    }
+  }
+  float* c0 = pc + (i + 0) * n + j0;
+  float* c1 = pc + (i + 1) * n + j0;
+  float* c2 = pc + (i + 2) * n + j0;
+  float* c3 = pc + (i + 3) * n + j0;
+  for (index_t jj = 0; jj < jr; ++jj) {
+    c0[jj] = acc0[jj];
+    c1[jj] = acc1[jj];
+    c2[jj] = acc2[jj];
+    c3[jj] = acc3[jj];
+  }
+}
+
+// Single-row remainder of the tile kernel, same accumulation order.
+template <index_t JR, typename LoadA>
+inline void mul_tile1(const LoadA& load_a, const float* pb, index_t bstride,
+                      index_t bj0, float* pc, index_t i, index_t j0, index_t jr,
+                      index_t k, index_t n) {
+  float acc[JR];
+  for (index_t jj = 0; jj < jr; ++jj) acc[jj] = 0.0f;
+  for (index_t p = 0; p < k; ++p) {
+    const float* brow = pb + p * bstride + bj0;
+    const float av = load_a(p, 0);
+    QAVAT_SIMD
+    for (index_t jj = 0; jj < jr; ++jj) acc[jj] += av * brow[jj];
+  }
+  float* crow = pc + i * n + j0;
+  for (index_t jj = 0; jj < jr; ++jj) crow[jj] = acc[jj];
+}
+
+// Tile sweep over one C row band [i, i+rows) for C columns [j0, j0+jr);
+// `rows` is 4 or the final remainder. The full-width tile runs with a
+// compile-time constant trip count so the accumulators stay in registers.
+template <typename LoadA>
+void mul_band(const LoadA& load_a, const float* pb, index_t bstride,
+              index_t bj0, float* pc, index_t i, index_t rows, index_t j0,
+              index_t jr, index_t k, index_t n) {
+  if (rows == kRowBlock) {
+    if (jr == kJTile) {
+      mul_tile4<kJTile>(load_a, pb, bstride, bj0, pc, i, j0, kJTile, k, n);
+    } else {
+      mul_tile4<kJTile>(load_a, pb, bstride, bj0, pc, i, j0, jr, k, n);
+    }
+  } else {
+    for (index_t r = 0; r < rows; ++r) {
+      const index_t ir = i + r;
+      auto load_r = [&](index_t p, index_t) { return load_a(p, r); };
+      if (jr == kJTile) {
+        mul_tile1<kJTile>(load_r, pb, bstride, bj0, pc, ir, j0, kJTile, k, n);
+      } else {
+        mul_tile1<kJTile>(load_r, pb, bstride, bj0, pc, ir, j0, jr, k, n);
+      }
+    }
+  }
+}
+
+// C rows [i0,i1) = A rows * B  (A {m,k} row-major, B {k,n} row-major).
+// Row bands outermost: the 4 A rows stay hot while B streams through.
+void gemm_nn_rows(const float* pa, const float* pb, float* pc, index_t i0,
+                  index_t i1, index_t k, index_t n) {
+  index_t i = i0;
+  for (; i + kRowBlock <= i1; i += kRowBlock) {
+    const float* a0 = pa + i * k;
+    auto load_a = [&](index_t p, index_t r) { return a0[r * k + p]; };
+    for (index_t j0 = 0; j0 < n; j0 += kJTile) {
+      const index_t jr = std::min(kJTile, n - j0);
+      mul_band(load_a, pb, n, j0, pc, i, kRowBlock, j0, jr, k, n);
+    }
+  }
+  if (i < i1) {
+    const float* a0 = pa + i * k;
+    auto load_a = [&](index_t p, index_t r) { return a0[r * k + p]; };
+    for (index_t j0 = 0; j0 < n; j0 += kJTile) {
+      const index_t jr = std::min(kJTile, n - j0);
+      mul_band(load_a, pb, n, j0, pc, i, i1 - i, j0, jr, k, n);
+    }
+  }
+}
+
+// Transpose one kJTile-column panel of B {n, k} into a packed {k, kJTile}
+// buffer so the register-tile kernel runs at full SIMD width. The pack
+// depends only on (B, j0), never on the row range, so results stay
+// thread-count independent no matter who packs.
+void pack_nt_panel(const float* pb, index_t k, index_t j0, index_t jr,
+                   float* pk) {
+  for (index_t jj = 0; jj < jr; ++jj) {
+    const float* brow = pb + (j0 + jj) * k;
+    for (index_t p = 0; p < k; ++p) pk[p * kJTile + jj] = brow[p];
+  }
+}
+
+// C rows [i0,i1) = A rows * B_packed^T over one packed panel.
+void gemm_nt_panel_rows(const float* pa, const float* pk, float* pc,
+                        index_t i0, index_t i1, index_t j0, index_t jr,
+                        index_t k, index_t n) {
+  index_t i = i0;
+  for (; i + kRowBlock <= i1; i += kRowBlock) {
+    const float* a0 = pa + i * k;
+    auto load_a = [&](index_t p, index_t r) { return a0[r * k + p]; };
+    mul_band(load_a, pk, kJTile, index_t{0}, pc, i, kRowBlock, j0, jr, k, n);
+  }
+  if (i < i1) {
+    const float* a0 = pa + i * k;
+    auto load_a = [&](index_t p, index_t r) { return a0[r * k + p]; };
+    mul_band(load_a, pk, kJTile, index_t{0}, pc, i, i1 - i, j0, jr, k, n);
+  }
+}
+
+// C rows [i0,i1) = A rows * B^T  (A {m,k}, B {n,k}, both row-major),
+// packing each panel locally — for callers that process the whole row
+// range in one call (the grouped/batched paths pack once per group).
+void gemm_nt_rows(const float* pa, const float* pb, float* pc, index_t i0,
+                  index_t i1, index_t k, index_t n) {
+  // thread_local: reused across the many small NT GEMMs of an eval loop
+  // without a heap allocation per call, and safe under parallel_for.
+  thread_local std::vector<float> pack;
+  pack.resize(static_cast<std::size_t>(k * kJTile));
+  for (index_t j0 = 0; j0 < n; j0 += kJTile) {
+    const index_t jr = std::min(kJTile, n - j0);
+    pack_nt_panel(pb, k, j0, jr, pack.data());
+    gemm_nt_panel_rows(pa, pack.data(), pc, i0, i1, j0, jr, k, n);
+  }
+}
+
+// C rows [i0,i1) = A^T rows * B  (A {k,m}, B {k,n}, both row-major).
+void gemm_tn_rows(const float* pa, const float* pb, float* pc, index_t i0,
+                  index_t i1, index_t k, index_t m, index_t n) {
+  index_t i = i0;
+  for (; i + kRowBlock <= i1; i += kRowBlock) {
+    const float* a0 = pa + i;
+    auto load_a = [&](index_t p, index_t r) { return a0[p * m + r]; };
+    for (index_t j0 = 0; j0 < n; j0 += kJTile) {
+      const index_t jr = std::min(kJTile, n - j0);
+      mul_band(load_a, pb, n, j0, pc, i, kRowBlock, j0, jr, k, n);
+    }
+  }
+  if (i < i1) {
+    const float* a0 = pa + i;
+    auto load_a = [&](index_t p, index_t r) { return a0[p * m + r]; };
+    for (index_t j0 = 0; j0 < n; j0 += kJTile) {
+      const index_t jr = std::min(kJTile, n - j0);
+      mul_band(load_a, pb, n, j0, pc, i, i1 - i, j0, jr, k, n);
+    }
+  }
+}
+
+// Row-partition dispatch: grain sized so each chunk carries at least
+// kMinMacsPerChunk of work, rounded up to kRowBlock so chunk boundaries
+// never change a row's block-vs-remainder path.
+template <typename Core>
+void launch_rows(index_t m, index_t macs_per_row, Core&& core) {
+  if (m <= 0) return;
+  if (m * macs_per_row < kSerialMacs) {
+    core(index_t{0}, m);
+    return;
+  }
+  index_t grain =
+      (kMinMacsPerChunk + macs_per_row - 1) / std::max<index_t>(1, macs_per_row);
+  grain = ((std::max<index_t>(grain, 1) + kRowBlock - 1) / kRowBlock) * kRowBlock;
+  parallel_for(index_t{0}, m, grain, core);
+}
+
+}  // namespace
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(0));
+  check_gemm_2d("matmul", a, b, 1, 0);
   const index_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (index_t i = 0; i < m; ++i) {
-    for (index_t p = 0; p < k; ++p) {
-      const float av = pa[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = pb + p * n;
-      float* crow = pc + i * n;
-      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  launch_rows(m, k * n, [=](index_t i0, index_t i1) {
+    gemm_nn_rows(pa, pb, pc, i0, i1, k, n);
+  });
   return c;
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1));
+  check_gemm_2d("matmul_nt", a, b, 1, 1);
   const index_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (index_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (index_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (index_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      pc[i * n + j] = acc;
-    }
+  if (m * k * n < kSerialMacs) {
+    gemm_nt_rows(pa, pb, pc, index_t{0}, m, k, n);
+    return c;
   }
+  // Pack every B panel once up front so row-split worker threads share
+  // the transposed panels instead of each re-packing all of B.
+  const index_t npanels = (n + kJTile - 1) / kJTile;
+  std::vector<float> pack(static_cast<std::size_t>(npanels * k * kJTile));
+  for (index_t j0 = 0; j0 < n; j0 += kJTile) {
+    pack_nt_panel(pb, k, j0, std::min(kJTile, n - j0),
+                  pack.data() + (j0 / kJTile) * k * kJTile);
+  }
+  const float* pk_all = pack.data();
+  launch_rows(m, k * n, [=](index_t i0, index_t i1) {
+    for (index_t j0 = 0; j0 < n; j0 += kJTile) {
+      gemm_nt_panel_rows(pa, pk_all + (j0 / kJTile) * k * kJTile, pc, i0, i1,
+                         j0, std::min(kJTile, n - j0), k, n);
+    }
+  });
   return c;
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(0) == b.dim(0));
+  check_gemm_2d("matmul_tn", a, b, 0, 0);
   const index_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (index_t p = 0; p < k; ++p) {
-    const float* arow = pa + p * m;
-    const float* brow = pb + p * n;
-    for (index_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  launch_rows(m, k * n, [=](index_t i0, index_t i1) {
+    gemm_tn_rows(pa, pb, pc, i0, i1, k, m, n);
+  });
+  return c;
+}
+
+Tensor matmul_nt_shared(const Tensor& a, const Tensor& b, index_t groups) {
+  check_gemm_2d("matmul_nt_shared", a, b, 1, 1);
+  if (groups < 1) {
+    throw std::invalid_argument("matmul_nt_shared: groups must be >= 1");
+  }
+  if (b.dim(0) % groups != 0) {
+    throw std::invalid_argument(
+        "matmul_nt_shared: B rows not divisible by groups, got " + shape_str(b) +
+        " with groups=" + std::to_string(groups));
+  }
+  const index_t rows = a.dim(0), k = a.dim(1), n = b.dim(0) / groups;
+  Tensor c({groups * rows, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  auto run = [=](index_t g0, index_t g1) {
+    for (index_t g = g0; g < g1; ++g) {
+      gemm_nt_rows(pa, pb + g * n * k, pc + g * rows * n, index_t{0}, rows, k, n);
     }
+  };
+  if (groups * rows * k * n < kSerialMacs) {
+    run(index_t{0}, groups);  // too small to pay per-call thread spawns
+  } else {
+    parallel_for(index_t{0}, groups, index_t{1}, run);
+  }
+  return c;
+}
+
+Tensor matmul_nt_batched(const Tensor& a, const Tensor& b, index_t groups) {
+  check_gemm_2d("matmul_nt_batched", a, b, 1, 1);
+  if (groups < 1) {
+    throw std::invalid_argument("matmul_nt_batched: groups must be >= 1");
+  }
+  if (a.dim(0) % groups != 0 || b.dim(0) % groups != 0) {
+    throw std::invalid_argument(
+        "matmul_nt_batched: rows not divisible by groups, got " + shape_str(a) +
+        " and " + shape_str(b) + " with groups=" + std::to_string(groups));
+  }
+  const index_t rows = a.dim(0) / groups;  // rows per group
+  const index_t k = a.dim(1), n = b.dim(0) / groups;
+  Tensor c({a.dim(0), n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // Parallelize across groups; each group is computed serially with the
+  // same local row origin as a standalone matmul_nt, so per-block results
+  // are bit-identical to per-group calls.
+  auto run = [=](index_t g0, index_t g1) {
+    for (index_t g = g0; g < g1; ++g) {
+      gemm_nt_rows(pa + g * rows * k, pb + g * n * k, pc + g * rows * n,
+                   index_t{0}, rows, k, n);
+    }
+  };
+  if (groups * rows * k * n < kSerialMacs) {
+    run(index_t{0}, groups);  // too small to pay per-call thread spawns
+  } else {
+    parallel_for(index_t{0}, groups, index_t{1}, run);
   }
   return c;
 }

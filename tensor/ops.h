@@ -1,13 +1,29 @@
 // Numeric kernels over Tensor: GEMM variants, random fills, reductions,
-// and the softmax/cross-entropy pair the trainer uses. All single-threaded
-// scalar code for now — the ROADMAP backlog tracks SIMD/threading.
+// and the softmax/cross-entropy pair the trainer uses.
+//
+// GEMM kernels are blocked (register-tiled rows, cache-tiled columns) with
+// SIMD-friendly inner loops, and split output rows across std::threads via
+// tensor/parallel_for.h (QAVAT_THREADS, default hardware_concurrency).
+//
+// Determinism contract (relied on by tests and the Monte-Carlo evaluator):
+//  * Shape checks are ALWAYS on — a dimension mismatch throws
+//    std::invalid_argument in every build type; Release (NDEBUG) builds
+//    fail loudly instead of reading out of bounds.
+//  * Results are a pure function of the operand values and shapes. There
+//    are no value-dependent branches (in particular no zero-skip), so the
+//    accumulation order — ascending over the contraction dimension per
+//    output element — never depends on weight sparsity.
+//  * Each output element is produced by exactly one thread with a fixed
+//    per-element operation order, so results are bit-identical for any
+//    thread count, and matmul_nt_batched(a, b, g) is bit-identical to g
+//    independent matmul_nt calls on the corresponding blocks.
 #pragma once
 
 #include "tensor/tensor.h"
 
 namespace qavat {
 
-/// C = A(m,k) * B(k,n). Cache-friendly ikj ordering.
+/// C = A(m,k) * B(k,n).
 Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// C = A(m,k) * B(n,k)^T -> (m,n).
@@ -15,6 +31,20 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b);
 
 /// C = A(k,m)^T * B(k,n) -> (m,n).
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// Grouped NT GEMM over `groups` stacked blocks: A {g*rows, k} (row-major
+/// groups), B {g*n, k} (one stacked weight block per group), C {g*rows, n}
+/// where C block i = A block i * (B block i)^T. Groups run in parallel;
+/// each block is bit-identical to matmul_nt on that block. This is the
+/// noise-batched effective-weight path of the Monte-Carlo evaluator.
+Tensor matmul_nt_batched(const Tensor& a, const Tensor& b, index_t groups);
+
+/// Grouped NT GEMM with one shared A block: A {rows, k}, B {g*n, k},
+/// C {g*rows, n} with C block i = A * (B block i)^T. Bit-identical to
+/// matmul_nt_batched with A tiled `groups` times, without materializing
+/// the tiling — used when every simulated chip sees the same input (e.g.
+/// the first layer of a batched Monte-Carlo forward).
+Tensor matmul_nt_shared(const Tensor& a, const Tensor& b, index_t groups);
 
 /// Fill with iid standard normal draws.
 void fill_normal(Tensor& t, Rng& rng);

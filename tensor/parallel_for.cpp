@@ -1,0 +1,41 @@
+#include "tensor/parallel_for.h"
+
+#include <cstdlib>
+
+namespace qavat {
+
+namespace detail {
+
+namespace {
+thread_local bool tl_in_parallel_region = false;
+}  // namespace
+
+bool in_parallel_region() { return tl_in_parallel_region; }
+void set_in_parallel_region(bool on) { tl_in_parallel_region = on; }
+
+}  // namespace detail
+
+namespace {
+
+index_t resolve_threads_from_env() {
+  const char* v = std::getenv("QAVAT_THREADS");
+  if (v != nullptr && v[0] != '\0') {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) return std::min<index_t>(static_cast<index_t>(n), 512);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<index_t>(hc) : 1;
+}
+
+index_t g_num_threads = 0;  // 0 = not yet resolved
+
+}  // namespace
+
+index_t num_threads() {
+  if (g_num_threads <= 0) g_num_threads = resolve_threads_from_env();
+  return g_num_threads;
+}
+
+void set_num_threads(index_t n) { g_num_threads = n > 0 ? n : 0; }
+
+}  // namespace qavat

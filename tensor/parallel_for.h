@@ -1,0 +1,75 @@
+// Deterministic std::thread fork-join helper for the tensor kernels.
+//
+// parallel_for(begin, end, grain, fn) splits [begin, end) into contiguous
+// chunks whose boundaries are multiples of `grain` (measured from `begin`)
+// and invokes fn(chunk_begin, chunk_end) once per chunk, spreading chunks
+// across up to num_threads() worker threads.
+//
+// Determinism contract: chunk boundaries depend only on (range, grain,
+// thread count), every index lands in exactly one chunk, and chunks are
+// grain-aligned — so a kernel whose per-index arithmetic is independent of
+// chunk boundaries (e.g. a GEMM that owns whole output rows and blocks
+// rows in groups that divide `grain`) produces bit-identical results for
+// ANY thread count, including 1. The GEMM kernels in tensor/ops.cpp are
+// written to this contract.
+//
+// Nested calls (fn itself calling parallel_for) run inline on the calling
+// worker, so parallelism never multiplies.
+//
+// Thread count resolution: QAVAT_THREADS environment variable if set to a
+// positive integer, otherwise std::thread::hardware_concurrency(). Tests
+// and benches may override programmatically with set_num_threads().
+#pragma once
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qavat {
+
+/// Worker-thread budget: QAVAT_THREADS > 0, else hardware_concurrency().
+/// Resolved once and cached; set_num_threads() overrides the cache.
+index_t num_threads();
+
+/// Override the thread budget (n >= 1). Passing n <= 0 re-resolves from
+/// the environment on the next num_threads() call.
+void set_num_threads(index_t n);
+
+namespace detail {
+/// True inside a parallel_for worker; nested calls run inline.
+bool in_parallel_region();
+void set_in_parallel_region(bool on);
+}  // namespace detail
+
+template <typename Fn>
+void parallel_for(index_t begin, index_t end, index_t grain, Fn&& fn) {
+  const index_t total = end - begin;
+  if (total <= 0) return;
+  if (grain < 1) grain = 1;
+  const index_t nchunks = (total + grain - 1) / grain;
+  const index_t nt = std::min<index_t>(num_threads(), nchunks);
+  if (nt <= 1 || detail::in_parallel_region()) {
+    fn(begin, end);
+    return;
+  }
+  // Thread t owns chunks [t*nchunks/nt, (t+1)*nchunks/nt): a contiguous,
+  // grain-aligned span. All spans are disjoint and cover [begin, end).
+  auto run = [&](index_t t) {
+    detail::set_in_parallel_region(true);
+    const index_t c0 = t * nchunks / nt;
+    const index_t c1 = (t + 1) * nchunks / nt;
+    const index_t lo = begin + c0 * grain;
+    const index_t hi = std::min(end, begin + c1 * grain);
+    if (lo < hi) fn(lo, hi);
+    detail::set_in_parallel_region(false);
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(nt - 1));
+  for (index_t t = 1; t < nt; ++t) workers.emplace_back(run, t);
+  run(0);
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace qavat

@@ -1,0 +1,153 @@
+// Tier-1: batched Monte-Carlo evaluation must produce per-chip accuracies
+// IDENTICAL to sequential evaluation (same seeds), for every chip_batch,
+// both variance models, with and without self-tuning, and for any thread
+// count. Also covers the eval-only contract of the noise-batch axis.
+#include <stdexcept>
+
+#include "core/variability/variability.h"
+#include "eval/evaluator.h"
+#include "tensor/parallel_for.h"
+#include "tests/test_common.h"
+
+using namespace qavat;
+
+namespace {
+
+std::unique_ptr<Module> make_test_model(const SplitDataset& data) {
+  ModelConfig mcfg;
+  mcfg.a_bits = 4;
+  mcfg.w_bits = 2;
+  mcfg.in_channels = 1;
+  mcfg.image_size = 12;
+  mcfg.num_classes = data.test.num_classes;
+  auto model = make_model(ModelKind::kLeNet5s, mcfg);
+  // Untrained weights are fine (we compare evaluations, not accuracy), but
+  // exercise the full quantization pipeline: MMSE weight grids + a fixed
+  // activation scale.
+  for (QuantLayerBase* q : model->quant_layers()) {
+    q->refresh_weight_scale();
+    q->act_quantizer().set_scale(0.25f);
+  }
+  model->set_training(false);
+  return model;
+}
+
+bool identical(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;  // exact — the contract is bit-identity
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  SynthDigitsConfig dcfg;
+  dcfg.n_train = 32;  // unused
+  dcfg.n_test = 96;
+  SplitDataset data = make_synth_digits(dcfg);
+  auto model = make_test_model(data);
+
+  EvalConfig base;
+  base.n_chips = 6;
+  base.max_test_samples = 96;
+  base.batch_size = 32;
+  base.seed = 777;
+
+  SelfTuneConfig st_gtm;
+  st_gtm.mode = SelfTuneMode::kGtm;
+  SelfTuneConfig st_ltm;
+  st_ltm.mode = SelfTuneMode::kGtmLtm;
+  st_ltm.ltm_columns = 4;
+
+  const VarianceModel vms[] = {VarianceModel::kWeightProportional,
+                               VarianceModel::kLayerFixed};
+  const SelfTuneConfig* tunes[] = {nullptr, &st_gtm, &st_ltm};
+
+  for (VarianceModel vm : vms) {
+    for (const SelfTuneConfig* st : tunes) {
+      const VariabilityConfig vcfg = VariabilityConfig::mixed(vm, 0.4);
+      EvalConfig seq = base;
+      seq.chip_batch = 1;
+      const EvalStats ref =
+          evaluate_under_variability(*model, data.test, vcfg, seq, st);
+      CHECK(static_cast<index_t>(ref.per_chip_acc.size()) == base.n_chips);
+
+      // chip_batch 3 (even split), 4 (ragged last group), 5 (ragged
+      // single-chip last group, which runs the scalar forward path), 0
+      // (default 8, clamped to n_chips): all must reproduce the
+      // sequential result.
+      for (index_t cb : {index_t{3}, index_t{4}, index_t{5}, index_t{0}}) {
+        EvalConfig batched = base;
+        batched.chip_batch = cb;
+        const EvalStats got =
+            evaluate_under_variability(*model, data.test, vcfg, batched, st);
+        CHECK(identical(got.per_chip_acc, ref.per_chip_acc));
+        CHECK(got.accuracy.mean == ref.accuracy.mean);
+        CHECK(got.accuracy.stddev == ref.accuracy.stddev);
+      }
+
+      // Thread-count independence of the batched path.
+      const index_t saved = num_threads();
+      set_num_threads(4);
+      EvalConfig batched = base;
+      batched.chip_batch = 3;
+      const EvalStats mt =
+          evaluate_under_variability(*model, data.test, vcfg, batched, st);
+      set_num_threads(saved);
+      CHECK(identical(mt.per_chip_acc, ref.per_chip_acc));
+    }
+  }
+
+  // Zero-noise deployments must also agree (correction fields set but
+  // inactive, identical across chips).
+  {
+    const VariabilityConfig off;  // sigma_w = sigma_b = 0
+    EvalConfig seq = base;
+    seq.chip_batch = 1;
+    EvalConfig bat = base;
+    bat.chip_batch = 4;
+    const EvalStats a =
+        evaluate_under_variability(*model, data.test, off, seq, &st_gtm);
+    const EvalStats b =
+        evaluate_under_variability(*model, data.test, off, bat, &st_gtm);
+    CHECK(identical(a.per_chip_acc, b.per_chip_acc));
+  }
+
+  // The noise-batch axis is eval-only: a batched backward must throw, and
+  // a forward whose row count does not divide by the batch must throw.
+  {
+    Rng rng(3);
+    QuantLinear layer(12, 5, 4, 2, rng);
+    layer.set_training(false);
+    ensure_noise_batch(layer, 4);
+    const VariabilityConfig vcfg =
+        VariabilityConfig::within_only(VarianceModel::kWeightProportional, 0.3);
+    Rng noise_rng(4);
+    for (index_t s = 0; s < 4; ++s) {
+      sample_variability_slot(layer, vcfg, noise_rng, s);
+    }
+    Tensor x({8, 12});
+    fill_normal(x, rng);
+    Tensor y = layer.forward(x);
+    CHECK(y.dim(0) == 8 && y.dim(1) == 5);
+    bool threw = false;
+    try {
+      layer.backward(y);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+    CHECK(threw);
+    threw = false;
+    Tensor bad({6, 12});
+    try {
+      layer.forward(bad);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+
+  return qavat::test::finish("test_eval_batched");
+}
