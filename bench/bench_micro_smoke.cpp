@@ -1,13 +1,28 @@
-// Kernel microbenchmarks (google-benchmark): GEMM, quantized-layer forward,
-// quantizer throughput, and crossbar MVM. These are engineering benches
+// Kernel microbenchmarks (google-benchmark): GEMM, conv-pipeline kernels
+// (im2col/col2im/pooling), quantized-layer forward/backward, train-mode
+// fwd+bwd, quantizer throughput, and crossbar MVM. These are engineering benches
 // (not a paper table); they document the substrate's raw speed, which is
 // what bounds the Monte-Carlo evaluation throughput.
+//
+// The custom main() below additionally emits a machine-readable
+// BENCH_micro.json (per-kernel wall-ms and GMAC/s — for elementwise/copy
+// kernels the rate field is Gelem/s) so the perf trajectory is recorded
+// per commit and ci/check_bench_regression.py can compare against the
+// committed baseline in ci/bench_baseline.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/models/models.h"
 #include "core/quant/qlayers.h"
 #include "core/quant/quantizer.h"
+#include "core/train/trainer.h"
 #include "eval/evaluator.h"
 #include "pim/chip.h"
+#include "tensor/conv_ops.h"
 #include "tensor/ops.h"
 #include "tensor/parallel_for.h"
 
@@ -136,6 +151,7 @@ BENCHMARK(BM_MmseScaleSearch)->Arg(1 << 10)->Arg(1 << 14);
 void BM_QuantConvForward(benchmark::State& state) {
   Rng rng(4);
   QuantConv2d conv(16, 16, 3, 1, 1, 4, 2, rng);
+  conv.refresh_weight_scale();
   conv.act_quantizer().set_scale(0.1f);
   conv.set_training(false);
   Tensor x({8, 16, 16, 16});
@@ -148,6 +164,111 @@ void BM_QuantConvForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8 * 16 * 16 * 9 * 16 * 16);
 }
 BENCHMARK(BM_QuantConvForward);
+
+// The conv-pipeline kernels in isolation (the wall clock the tentpole
+// moves): im2col / col2im / pooling on the VGG-11s first-stage shape.
+// Items are elements moved, so the JSON rate field reads Gelem/s.
+void BM_Im2col(benchmark::State& state) {
+  Rng rng(11);
+  Tensor x({8, 16, 16, 16});
+  fill_normal(x, rng);
+  const ConvGeom g{8, 16, 16, 16, 3, 1, 1, 16, 16};
+  Tensor cols;
+  for (auto _ : state) {
+    im2col(x, g, cols);
+    benchmark::DoNotOptimize(cols.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.rows() * g.ckk());
+}
+BENCHMARK(BM_Im2col);
+
+void BM_Col2im(benchmark::State& state) {
+  Rng rng(12);
+  const ConvGeom g{8, 16, 16, 16, 3, 1, 1, 16, 16};
+  Tensor dcols({g.rows(), g.ckk()});
+  fill_normal(dcols, rng);
+  Tensor gx;
+  for (auto _ : state) {
+    col2im(dcols, g, gx);
+    benchmark::DoNotOptimize(gx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.rows() * g.ckk());
+}
+BENCHMARK(BM_Col2im);
+
+void BM_MaxPool(benchmark::State& state) {
+  Rng rng(13);
+  Tensor x({8, 32, 16, 16});
+  fill_normal(x, rng);
+  Tensor y;
+  std::vector<index_t> arg;
+  for (auto _ : state) {
+    maxpool2d(x, 2, y, arg);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.size());
+}
+BENCHMARK(BM_MaxPool);
+
+// Training-mode conv forward + backward — the acceptance micro-bench for
+// the threaded conv pipeline. MACs count the three GEMMs (forward, dW,
+// dX). Arg = thread count; UseRealTime so multi-thread numbers report
+// wall clock, not summed CPU time.
+void BM_QuantConvFwdBwd(benchmark::State& state) {
+  const index_t saved = num_threads();
+  set_num_threads(state.range(0));
+  Rng rng(14);
+  QuantConv2d conv(16, 16, 3, 1, 1, 4, 2, rng);
+  conv.refresh_weight_scale();
+  conv.act_quantizer().set_scale(0.1f);
+  conv.set_training(true);
+  conv.weight().ensure_grad();
+  conv.bias().ensure_grad();
+  Tensor x({8, 16, 16, 16});
+  fill_normal(x, rng);
+  Tensor gy({8, 16, 16, 16});
+  fill_normal(gy, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    Tensor gx = conv.backward(gy);
+    benchmark::DoNotOptimize(gx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * 8 * 16 * 16 * 9 * 16 * 16);
+  set_num_threads(saved);
+}
+BENCHMARK(BM_QuantConvFwdBwd)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Training-mode forward + loss + backward of LeNet-5s on a 32-image
+// synthetic batch — the per-step cost train() pays before the optimizer
+// update (Adam lives inside core/train/trainer.cpp and is not separately
+// benchable here). Items = images, so the rate is images/s.
+void BM_TrainFwdBwd(benchmark::State& state) {
+  SynthDigitsConfig dcfg;
+  dcfg.n_train = 32;
+  dcfg.n_test = 8;
+  SplitDataset data = make_synth_digits(dcfg);
+  ModelConfig mcfg;
+  auto model = make_model(ModelKind::kLeNet5s, mcfg);
+  for (QuantLayerBase* q : model->quant_layers()) {
+    q->refresh_weight_scale();
+    q->act_quantizer().set_scale(0.25f);
+  }
+  model->set_training(true);
+  std::vector<index_t> idx(32);
+  for (index_t i = 0; i < 32; ++i) idx[static_cast<std::size_t>(i)] = i;
+  Tensor x = data.train.gather_images(idx);
+  std::vector<index_t> y = data.train.gather_labels(idx);
+  for (auto _ : state) {
+    model->zero_grad();
+    Tensor logits = model->forward(x);
+    Tensor grad;
+    softmax_xent(logits, y, &grad, nullptr);
+    model->backward(grad);
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_TrainFwdBwd)->Unit(benchmark::kMillisecond);
 
 void BM_CrossbarMvm(benchmark::State& state) {
   const index_t n = state.range(0);
@@ -182,7 +303,65 @@ void BM_VariabilitySampling(benchmark::State& state) {
 }
 BENCHMARK(BM_VariabilitySampling);
 
+// Console reporter that also collects per-kernel wall time and the
+// items_per_second rate so main() can emit the compact BENCH_micro.json.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double wall_ms = 0.0;
+    double grate = 0.0;  // items_per_second / 1e9: GMAC/s or Gelem/s
+  };
+  std::vector<Entry> entries;
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      Entry e;
+      e.name = run.benchmark_name();
+      if (run.iterations > 0) {
+        e.wall_ms = 1e3 * run.real_accumulated_time /
+                    static_cast<double>(run.iterations);
+      }
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) e.grate = it->second.value / 1e9;
+      entries.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+};
+
 }  // namespace
 }  // namespace qavat
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  qavat::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  // Machine-readable perf record: QAVAT_BENCH_JSON overrides the output
+  // path; an empty value disables the file.
+  const char* path_env = std::getenv("QAVAT_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_micro.json";
+  if (path.empty()) return 0;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro_smoke: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"qavat-bench-micro-v1\",\n");
+  std::fprintf(f, "  \"threads_default\": %lld,\n",
+               static_cast<long long>(qavat::num_threads()));
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < reporter.entries.size(); ++i) {
+    const auto& e = reporter.entries[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"wall_ms\": %.6f, \"gmacs\": %.4f}%s\n",
+                 e.name.c_str(), e.wall_ms, e.grate,
+                 i + 1 < reporter.entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu kernels)\n", path.c_str(), reporter.entries.size());
+  return 0;
+}

@@ -30,4 +30,28 @@ run_suite() {
 run_suite "${BUILD_DIR}" Release
 run_suite "${DEBUG_BUILD_DIR}" Debug
 
+# Micro-bench perf record (Release only; skipped when google-benchmark was
+# not found). Writes the machine-readable BENCH_micro.json artifact and
+# runs the soft GMAC/s regression gate against ci/bench_baseline.json
+# (loud banner on >20% drop; fails the build only with
+# QAVAT_BENCH_STRICT=1, since shared CI hosts are noisy).
+ARTIFACT_DIR="${ARTIFACT_DIR:-${REPO_ROOT}/artifacts}"
+if [[ -x "${BUILD_DIR}/bench_micro_smoke" ]]; then
+  echo "== micro-bench (Release) =="
+  (cd "${BUILD_DIR}" &&
+   QAVAT_BENCH_JSON=BENCH_micro.json ./bench_micro_smoke \
+     --benchmark_min_time=0.1 >/dev/null)
+  mkdir -p "${ARTIFACT_DIR}"
+  cp "${BUILD_DIR}/BENCH_micro.json" "${ARTIFACT_DIR}/BENCH_micro.json"
+  echo "archived ${ARTIFACT_DIR}/BENCH_micro.json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 "${REPO_ROOT}/ci/check_bench_regression.py" \
+      "${BUILD_DIR}/BENCH_micro.json" "${REPO_ROOT}/ci/bench_baseline.json"
+  else
+    echo "python3 not found - skipping bench regression check"
+  fi
+else
+  echo "bench_micro_smoke not built - skipping micro-bench record"
+fi
+
 echo "tier-1 verify: OK (Release + Debug)"

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "tensor/conv_ops.h"
+#include "tensor/parallel_for.h"
+
 namespace qavat {
 
 const char* to_string(ModelKind kind) {
@@ -23,11 +26,14 @@ class ReluLayer : public Layer {
     return y;
   }
   Tensor backward(const Tensor& gy) override {
-    Tensor gx(gy.shape());
+    Tensor gx;
+    gx.resize_for_overwrite(gy.shape());
     const float* g = gy.data();
     const float* m = mask_.data();
     float* p = gx.data();
-    for (index_t i = 0; i < gy.size(); ++i) p[i] = g[i] * m[i];
+    parallel_for_elems(gy.size(), [p, g, m](index_t i0, index_t i1) {
+      for (index_t i = i0; i < i1; ++i) p[i] = g[i] * m[i];
+    });
     return gx;
   }
 
@@ -35,49 +41,21 @@ class ReluLayer : public Layer {
   Tensor mask_;
 };
 
+// Thin adapter over the threaded pooling kernels in tensor/conv_ops.h.
 class MaxPool2dLayer : public Layer {
  public:
   explicit MaxPool2dLayer(index_t k) : k_(k) {}
 
   Tensor forward(const Tensor& x) override {
-    const index_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
-    const index_t oh = h / k_, ow = w / k_;
     in_shape_ = x.shape();
-    Tensor y({n, c, oh, ow});
-    arg_.assign(static_cast<std::size_t>(y.size()), 0);
-    const float* px = x.data();
-    float* py = y.data();
-    for (index_t nc = 0; nc < n * c; ++nc) {
-      const float* plane = px + nc * h * w;
-      for (index_t oy = 0; oy < oh; ++oy) {
-        for (index_t ox = 0; ox < ow; ++ox) {
-          index_t best = (oy * k_) * w + ox * k_;
-          float bv = plane[best];
-          for (index_t dy = 0; dy < k_; ++dy) {
-            for (index_t dx = 0; dx < k_; ++dx) {
-              const index_t idx = (oy * k_ + dy) * w + ox * k_ + dx;
-              if (plane[idx] > bv) {
-                bv = plane[idx];
-                best = idx;
-              }
-            }
-          }
-          const index_t oidx = nc * oh * ow + oy * ow + ox;
-          py[oidx] = bv;
-          arg_[static_cast<std::size_t>(oidx)] = nc * h * w + best;
-        }
-      }
-    }
+    Tensor y;
+    maxpool2d(x, k_, y, arg_);
     return y;
   }
 
   Tensor backward(const Tensor& gy) override {
-    Tensor gx(in_shape_);
-    float* p = gx.data();
-    const float* g = gy.data();
-    for (index_t i = 0; i < gy.size(); ++i) {
-      p[arg_[static_cast<std::size_t>(i)]] += g[i];
-    }
+    Tensor gx;
+    maxpool2d_backward(gy, arg_, in_shape_, gx);
     return gx;
   }
 
@@ -132,7 +110,8 @@ class ResidualBlock : public Layer {
   }
 
   Tensor backward(const Tensor& gy) override {
-    Tensor g(gy.shape());
+    Tensor g;
+    g.resize_for_overwrite(gy.shape());
     {
       const float* src = gy.data();
       const float* m = mask2_.data();
@@ -169,6 +148,11 @@ class ResidualBlock : public Layer {
     conv2_.set_training(training);
     if (proj_) proj_->set_training(training);
   }
+  void set_workspace(Workspace* ws) override {
+    conv1_.set_workspace(ws);
+    conv2_.set_workspace(ws);
+    if (proj_) proj_->set_workspace(ws);
+  }
 
  private:
   QuantConv2d conv1_, conv2_;
@@ -181,6 +165,9 @@ class ResidualBlock : public Layer {
 Tensor Module::forward(const Tensor& x) {
   Tensor h = x;
   for (auto& layer : layers_) h = layer->forward(h);
+  // Scratch slots are dead between top-level passes; enforce the
+  // QAVAT_WORKSPACE_MB retention cap here (Workspace lifetime contract).
+  workspace_.trim(Workspace::cap_bytes_from_env());
   return h;
 }
 
@@ -189,6 +176,7 @@ void Module::backward(const Tensor& grad_logits) {
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     g = (*it)->backward(g);
   }
+  workspace_.trim(Workspace::cap_bytes_from_env());
 }
 
 std::vector<Param*> Module::parameters() {

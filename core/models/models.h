@@ -30,6 +30,10 @@ struct ModelConfig {
 class Module {
  public:
   Module(ModelKind kind, ModelConfig cfg) : kind_(kind), cfg_(cfg) {}
+  // Layers hold the address of workspace_ (set at add_layer time), so a
+  // moved/copied Module would leave them pointing into the source object.
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
 
   Tensor forward(const Tensor& x);
   /// Backprop from dL/dlogits; accumulates parameter grads.
@@ -47,13 +51,20 @@ class Module {
   const ModelConfig& config() const { return cfg_; }
 
   void add_layer(std::unique_ptr<Layer> layer) {
+    layer->set_workspace(&workspace_);
     layers_.push_back(std::move(layer));
   }
+
+  /// Scratch arena shared by every layer of this model (DESIGN.md §8):
+  /// sized once per (shape, batch) and reused across Monte-Carlo chips
+  /// and training steps; forward/backward trim it to QAVAT_WORKSPACE_MB.
+  Workspace& workspace() { return workspace_; }
 
  private:
   ModelKind kind_;
   ModelConfig cfg_;
   std::vector<std::unique_ptr<Layer>> layers_;
+  Workspace workspace_;
 };
 
 std::unique_ptr<Module> make_model(ModelKind kind, const ModelConfig& cfg);

@@ -43,15 +43,14 @@ bool chip_blocks_identical(const Tensor& x, index_t nb) {
   return true;
 }
 
-// First chip block of a batched input as its own tensor (leading dim
+// First chip block of a batched input, copied into `out` (leading dim
 // divided by nb).
-Tensor first_chip_block(const Tensor& x, index_t nb) {
+void first_chip_block(const Tensor& x, index_t nb, Tensor& out) {
   std::vector<index_t> shape = x.shape();
   shape[0] /= nb;
-  Tensor out(std::move(shape));
+  out.resize_for_overwrite(std::move(shape));
   std::memcpy(out.data(), x.data(),
               static_cast<std::size_t>(out.size()) * sizeof(float));
-  return out;
 }
 
 // Tile per-row LTM sums of a shared block out to all nb chip blocks.
@@ -157,15 +156,19 @@ void QuantLayerBase::compute_effective_weight() {
   assert(noise_.eps.size() == weff_.size());
   float* w = weff_.data();
   const float* eps = noise_.eps.data();
+  const float eps_b = noise_.eps_b;
   if (noise_.model == VarianceModel::kWeightProportional) {
-    for (index_t i = 0; i < weff_.size(); ++i) {
-      w[i] *= 1.0f + eps[i] + noise_.eps_b;
-    }
+    parallel_for_elems(weff_.size(), [w, eps, eps_b](index_t i0, index_t i1) {
+      for (index_t i = i0; i < i1; ++i) w[i] *= 1.0f + eps[i] + eps_b;
+    });
   } else {
     const float unit = noise_.wmax;
-    for (index_t i = 0; i < weff_.size(); ++i) {
-      w[i] += (eps[i] + noise_.eps_b) * unit;
-    }
+    parallel_for_elems(weff_.size(),
+                       [w, eps, eps_b, unit](index_t i0, index_t i1) {
+                         for (index_t i = i0; i < i1; ++i) {
+                           w[i] += (eps[i] + eps_b) * unit;
+                         }
+                       });
   }
 }
 
@@ -180,39 +183,47 @@ bool QuantLayerBase::batched_input_shared(const Tensor& x, index_t nb,
   return chip_blocks_identical(x, nb);
 }
 
-Tensor QuantLayerBase::quantize_forward_input(const Tensor& x, index_t nb,
-                                              bool shared) {
-  if (!shared) return quantize_input(x);
-  const Tensor x0 = first_chip_block(x, nb);
-  return quantize_input(x0);
+void QuantLayerBase::quantize_forward_input(const Tensor& x, index_t nb,
+                                            bool shared, Tensor& out) {
+  if (!shared) {
+    quantize_input(x, out);
+    return;
+  }
+  std::vector<index_t> block_shape = x.shape();
+  block_shape[0] /= nb;
+  Tensor& x0 = ws_->acquire(this, kWsBlock, std::move(block_shape));
+  first_chip_block(x, nb, x0);
+  quantize_input(x0, out);
 }
 
-Tensor QuantLayerBase::analog_matmul(const Tensor& a2d, index_t nb,
-                                     bool shared) const {
-  Tensor y = nb <= 1   ? matmul_nt(a2d, weff_)
-             : shared  ? matmul_nt_shared(a2d, weff_, nb)
-                       : matmul_nt_batched(a2d, weff_, nb);
+void QuantLayerBase::analog_matmul_into(const Tensor& a2d, index_t nb,
+                                        bool shared, Tensor& y) const {
+  if (nb <= 1) {
+    matmul_nt_into(a2d, weff_, y);
+  } else if (shared) {
+    matmul_nt_shared_into(a2d, weff_, nb, y);
+  } else {
+    matmul_nt_batched_into(a2d, weff_, nb, y);
+  }
   if (noise_.active && noise_.correction == CorrectionKind::kOffset) {
     std::vector<float> sums = ltm_row_sums(a2d);
     apply_correction(y, shared ? tile_row_sums(sums, nb) : sums);
   } else {
     apply_correction(y, {});
   }
-  return y;
 }
 
-Tensor QuantLayerBase::quantize_input(const Tensor& x) {
+void QuantLayerBase::quantize_input(const Tensor& x, Tensor& out) {
   if (training_) act_quant_.observe(x);
   if (!quant_enabled_) {
     if (training_) {
-      x_mask_.resize(x.shape());
+      x_mask_.resize_for_overwrite(x.shape());
       x_mask_.fill(1.0f);
     }
-    return x;
+    out = x;
+    return;
   }
-  Tensor out;
   act_quant_.quantize(x, out, training_ ? &x_mask_ : nullptr);
-  return out;
 }
 
 void QuantLayerBase::apply_correction(Tensor& y2d,
@@ -234,7 +245,7 @@ void QuantLayerBase::apply_correction(Tensor& y2d,
       // clamp like a bounded-gain analog stage would.
       if (std::fabs(denom) < 0.25f) denom = denom < 0.0f ? -0.25f : 0.25f;
       const float g = 1.0f / denom;
-      for (index_t i = r0 * cols; i < r1 * cols; ++i) y[i] *= g;
+      scale(y + r0 * cols, (r1 - r0) * cols, g);
     } else {  // kOffset
       assert(static_cast<index_t>(row_sums.size()) == rows);
       const float k = eps_hat * noise_.wmax * (1.0f + ltm_err);
@@ -255,13 +266,17 @@ void QuantLayerBase::accumulate_weight_grad(const Tensor& grad_weff) {
   const float* g = grad_weff.data();
   const float* eps = reparam_factor ? noise_.eps.data() : nullptr;
   const float* m = masked ? w_mask_.data() : nullptr;
+  const float eps_b = noise_.eps_b;
   float* acc = weight_.grad.data();
-  for (index_t i = 0; i < grad_weff.size(); ++i) {
-    float v = g[i];
-    if (eps != nullptr) v *= 1.0f + eps[i] + noise_.eps_b;
-    if (m != nullptr) v *= m[i];
-    acc[i] += v;
-  }
+  parallel_for_elems(grad_weff.size(),
+                     [g, eps, m, eps_b, acc](index_t i0, index_t i1) {
+                       for (index_t i = i0; i < i1; ++i) {
+                         float v = g[i];
+                         if (eps != nullptr) v *= 1.0f + eps[i] + eps_b;
+                         if (m != nullptr) v *= m[i];
+                         acc[i] += v;
+                       }
+                     });
 }
 
 QuantLinear::QuantLinear(index_t in, index_t out, index_t a_bits, index_t w_bits,
@@ -274,9 +289,10 @@ Tensor QuantLinear::forward(const Tensor& x) {
   assert(x.ndim() == 2 && x.dim(1) == fan_in_);
   const index_t nb = noise_batch();
   const bool shared = batched_input_shared(x, nb, "QuantLinear::forward");
-  xq_ = quantize_forward_input(x, nb, shared);
+  quantize_forward_input(x, nb, shared, xq_);
   compute_effective_weight();
-  Tensor y = analog_matmul(xq_, nb, shared);
+  Tensor y;
+  analog_matmul_into(xq_, nb, shared, y);
   float* py = y.data();
   const float* pb = bias_.value.data();
   for (index_t n = 0; n < y.dim(0); ++n) {
@@ -298,12 +314,16 @@ Tensor QuantLinear::backward(const Tensor& gy) {
   for (index_t n = 0; n < gy.dim(0); ++n) {
     for (index_t j = 0; j < fan_out_; ++j) pb[j] += pg[n * fan_out_ + j];
   }
-  accumulate_weight_grad(matmul_tn(gy, xq_));
+  Tensor& dw = ws_->acquire(this, kWsDw, {fan_out_, fan_in_});
+  matmul_tn_into(gy, xq_, dw);
+  accumulate_weight_grad(dw);
   Tensor gx = matmul(gy, weff_);
   if (x_mask_.size() == gx.size()) {
     float* p = gx.data();
     const float* m = x_mask_.data();
-    for (index_t i = 0; i < gx.size(); ++i) p[i] *= m[i];
+    parallel_for_elems(gx.size(), [p, m](index_t i0, index_t i1) {
+      for (index_t i = i0; i < i1; ++i) p[i] *= m[i];
+    });
   }
   return gx;
 }
@@ -321,69 +341,6 @@ QuantConv2d::QuantConv2d(index_t in_channels, index_t out_channels, index_t kern
               0.0, std::sqrt(2.0 / static_cast<double>(fan_in_)));
 }
 
-namespace {
-
-// x {N,C,H,W} -> cols {N*OH*OW, C*K*K}; row index = (n*OH + oh)*OW + ow.
-Tensor im2col(const Tensor& x, index_t k, index_t stride, index_t pad,
-              index_t oh, index_t ow) {
-  const index_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
-  const index_t ckk = c * k * k;
-  Tensor cols({n * oh * ow, ckk});
-  const float* px = x.data();
-  float* pc = cols.data();
-  for (index_t ni = 0; ni < n; ++ni) {
-    for (index_t y = 0; y < oh; ++y) {
-      for (index_t xo = 0; xo < ow; ++xo) {
-        float* row = pc + ((ni * oh + y) * ow + xo) * ckk;
-        for (index_t ci = 0; ci < c; ++ci) {
-          const float* plane = px + (ni * c + ci) * h * w;
-          for (index_t ky = 0; ky < k; ++ky) {
-            const index_t iy = y * stride - pad + ky;
-            for (index_t kx = 0; kx < k; ++kx) {
-              const index_t ix = xo * stride - pad + kx;
-              const bool in = iy >= 0 && iy < h && ix >= 0 && ix < w;
-              row[(ci * k + ky) * k + kx] = in ? plane[iy * w + ix] : 0.0f;
-            }
-          }
-        }
-      }
-    }
-  }
-  return cols;
-}
-
-// Scatter-add the cols gradient back to the input image layout.
-Tensor col2im(const Tensor& cols, const std::vector<index_t>& x_shape, index_t k,
-              index_t stride, index_t pad, index_t oh, index_t ow) {
-  const index_t n = x_shape[0], c = x_shape[1], h = x_shape[2], w = x_shape[3];
-  const index_t ckk = c * k * k;
-  Tensor gx(x_shape);
-  const float* pc = cols.data();
-  float* px = gx.data();
-  for (index_t ni = 0; ni < n; ++ni) {
-    for (index_t y = 0; y < oh; ++y) {
-      for (index_t xo = 0; xo < ow; ++xo) {
-        const float* row = pc + ((ni * oh + y) * ow + xo) * ckk;
-        for (index_t ci = 0; ci < c; ++ci) {
-          float* plane = px + (ni * c + ci) * h * w;
-          for (index_t ky = 0; ky < k; ++ky) {
-            const index_t iy = y * stride - pad + ky;
-            if (iy < 0 || iy >= h) continue;
-            for (index_t kx = 0; kx < k; ++kx) {
-              const index_t ix = xo * stride - pad + kx;
-              if (ix < 0 || ix >= w) continue;
-              plane[iy * w + ix] += row[(ci * k + ky) * k + kx];
-            }
-          }
-        }
-      }
-    }
-  }
-  return gx;
-}
-
-}  // namespace
-
 Tensor QuantConv2d::forward(const Tensor& x) {
   assert(x.ndim() == 4 && x.dim(1) == in_channels_);
   const index_t nb = noise_batch();
@@ -391,26 +348,70 @@ Tensor QuantConv2d::forward(const Tensor& x) {
   x_shape_ = x.shape();
   const index_t n = x.dim(0);
   const index_t oh = out_size(x.dim(2)), ow = out_size(x.dim(3));
-  Tensor xq = quantize_forward_input(x, nb, shared);
-  cols_ = im2col(xq, kernel_, stride_, pad_, oh, ow);
+  // When the batched input is nb identical chip blocks, gather only the
+  // first block — the grouped GEMM broadcasts it to every chip.
+  const ConvGeom geom{shared ? n / nb : n,
+                      in_channels_,
+                      x.dim(2),
+                      x.dim(3),
+                      kernel_,
+                      stride_,
+                      pad_,
+                      oh,
+                      ow};
+  if (training_) {
+    // Training path: explicit quantize pass (observes activation ranges
+    // and caches the STE mask for backward), then plain gather.
+    Tensor& xq = ws_->acquire(this, kWsXq, x.shape());
+    quantize_input(x, xq);
+    im2col(xq, geom, cols_);
+  } else if (quant_enabled_ && act_quant_.calibrated()) {
+    if (stride_ >= kernel_) {
+      // Non-overlapping windows: each input element is gathered at most
+      // once, so fusing the quantizer into the gather saves a whole
+      // tensor pass at no extra arithmetic. Bit-identical values.
+      im2col_quant(x, geom, act_quant_.scale(),
+                   unsigned_qmax(act_quant_.bits()), cols_);
+    } else {
+      // Overlapping windows gather each element ~(k/stride)^2 times; the
+      // fused form would re-round per window while a separate quantize
+      // pass vectorizes over the contiguous input. Quantize once into
+      // workspace scratch (first chip block only when shared), then the
+      // gather is pure copies. Shape-gated, so the choice — and the
+      // bit-exact result — never depends on the thread count.
+      Tensor& xq = ws_->acquire(
+          this, kWsXq, {geom.n, in_channels_, x.dim(2), x.dim(3)});
+      quantize_forward_input(x, nb, shared, xq);
+      im2col(xq, geom, cols_);
+    }
+  } else {
+    im2col(x, geom, cols_);  // identity quantizer: gather straight from x
+  }
   compute_effective_weight();
   // Chip-major image groups stay chip-major in the im2col row order, so
   // the grouped GEMM multiplies each chip's rows by its own weights (or
   // broadcasts the shared block when the chip inputs are identical).
-  Tensor y2d = analog_matmul(cols_, nb, shared);  // {N*OH*OW, cout}
-  // Permute {N*OH*OW, cout} -> {N, cout, OH, OW} and add the bias.
-  Tensor y({n, out_channels_, oh, ow});
+  const index_t out_rows = shared ? nb * geom.rows() : geom.rows();
+  Tensor& y2d = ws_->acquire(this, kWsY2d, {out_rows, out_channels_});
+  analog_matmul_into(cols_, nb, shared, y2d);  // {N*OH*OW, cout}
+  // Permute {N*OH*OW, cout} -> {N, cout, OH, OW} and add the bias. Each
+  // (image, position) is written by exactly one thread: bit-identical for
+  // any thread count.
+  Tensor y;
+  y.resize_for_overwrite({n, out_channels_, oh, ow});
+  const index_t ohw = oh * ow;
+  const index_t cout = out_channels_;
   const float* p2 = y2d.data();
   const float* pb = bias_.value.data();
   float* py = y.data();
-  for (index_t ni = 0; ni < n; ++ni) {
-    for (index_t pos = 0; pos < oh * ow; ++pos) {
-      const float* src = p2 + (ni * oh * ow + pos) * out_channels_;
-      for (index_t co = 0; co < out_channels_; ++co) {
-        py[(ni * out_channels_ + co) * oh * ow + pos] = src[co] + pb[co];
-      }
+  parallel_for_elems(n * ohw, [=](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const index_t ni = r / ohw, pos = r - ni * ohw;
+      const float* src = p2 + r * cout;
+      float* dst = py + ni * cout * ohw + pos;
+      for (index_t co = 0; co < cout; ++co) dst[co * ohw] = src[co] + pb[co];
     }
-  }
+  });
   last_macs_ = static_cast<double>(fan_in_ * out_channels_ * oh * ow);
   last_positions_ = static_cast<double>(oh * ow);
   return y;
@@ -422,28 +423,43 @@ Tensor QuantConv2d::backward(const Tensor& gy) {
     throw std::logic_error("QuantConv2d::backward: batched noise is eval-only");
   }
   const index_t n = gy.dim(0), oh = gy.dim(2), ow = gy.dim(3);
+  const index_t ohw = oh * ow, cout = out_channels_;
   // Permute to {N*OH*OW, cout} (inverse of forward's layout change).
-  Tensor gy2d({n * oh * ow, out_channels_});
+  Tensor& gy2d = ws_->acquire(this, kWsGy2d, {n * ohw, cout});
   const float* pg = gy.data();
   float* p2 = gy2d.data();
+  parallel_for_elems(n * ohw, [=](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const index_t ni = r / ohw, pos = r - ni * ohw;
+      const float* src = pg + ni * cout * ohw + pos;
+      float* dst = p2 + r * cout;
+      for (index_t co = 0; co < cout; ++co) dst[co] = src[co * ohw];
+    }
+  });
+  // Bias gradient: serial column reduction in ascending (image, position)
+  // order — kept out of the threaded permute so no accumulation races.
   bias_.ensure_grad();
   float* pb = bias_.grad.data();
-  for (index_t ni = 0; ni < n; ++ni) {
-    for (index_t co = 0; co < out_channels_; ++co) {
-      const float* plane = pg + (ni * out_channels_ + co) * oh * ow;
-      for (index_t pos = 0; pos < oh * ow; ++pos) {
-        p2[(ni * oh * ow + pos) * out_channels_ + co] = plane[pos];
-        pb[co] += plane[pos];
-      }
-    }
+  for (index_t r = 0; r < n * ohw; ++r) {
+    const float* row = p2 + r * cout;
+    for (index_t co = 0; co < cout; ++co) pb[co] += row[co];
   }
-  accumulate_weight_grad(matmul_tn(gy2d, cols_));
-  Tensor dcols = matmul(gy2d, weff_);
-  Tensor gx = col2im(dcols, x_shape_, kernel_, stride_, pad_, oh, ow);
+  Tensor& dw = ws_->acquire(this, kWsDw, {fan_out_, fan_in_});
+  matmul_tn_into(gy2d, cols_, dw);
+  accumulate_weight_grad(dw);
+  Tensor& dcols = ws_->acquire(this, kWsDcols, {n * ohw, fan_in_});
+  matmul_into(gy2d, weff_, dcols);
+  const ConvGeom geom{n,       in_channels_, x_shape_[2], x_shape_[3],
+                      kernel_, stride_,      pad_,        oh,
+                      ow};
+  Tensor gx;
+  col2im(dcols, geom, gx);
   if (x_mask_.size() == gx.size()) {
     float* p = gx.data();
     const float* m = x_mask_.data();
-    for (index_t i = 0; i < gx.size(); ++i) p[i] *= m[i];
+    parallel_for_elems(gx.size(), [p, m](index_t i0, index_t i1) {
+      for (index_t i = i0; i < i1; ++i) p[i] *= m[i];
+    });
   }
   return gx;
 }

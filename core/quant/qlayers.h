@@ -15,7 +15,9 @@
 
 #include "core/quant/quantizer.h"
 #include "core/variability/variability.h"
+#include "tensor/conv_ops.h"
 #include "tensor/ops.h"
+#include "tensor/workspace.h"
 
 namespace qavat {
 
@@ -93,6 +95,9 @@ class Layer {
   virtual void collect_params(std::vector<Param*>& out) {}
   virtual void collect_quant(std::vector<QuantLayerBase*>& out) {}
   virtual void set_training(bool training) { training_ = training; }
+  /// Adopt a shared scratch arena (Module wires its own into every layer
+  /// at add_layer time); layers without scratch needs ignore it.
+  virtual void set_workspace(Workspace* ws) {}
   bool training() const { return training_; }
 
  protected:
@@ -147,28 +152,44 @@ class QuantLayerBase : public Layer {
   /// rows, grouped chip-major.
   index_t noise_batch() const { return noise_.active ? noise_.batch : 1; }
 
+  void set_workspace(Workspace* ws) override { ws_ = ws ? ws : &local_ws_; }
+
  protected:
+  /// Scratch-slot ids within the layer's workspace key space (the key is
+  /// (this, slot), so layers never collide).
+  enum WsSlot {
+    kWsXq = 0,      // quantized input (training conv path)
+    kWsY2d = 1,     // 2-D analog output before the NCHW permute
+    kWsGy2d = 2,    // permuted upstream gradient
+    kWsDw = 3,      // grad wrt effective weight
+    kWsDcols = 4,   // grad wrt im2col matrix
+    kWsBlock = 5,   // first chip block of a shared batched input
+  };
   /// Effective weight for the analog MVM: quantize-dequantize (when
   /// enabled) then apply the active noise realization. With a noise batch
   /// of B, builds B stacked effective-weight blocks {B*fan_out, fan_in}
   /// from one shared quantize-dequantize pass (inference only). Also
   /// caches the weight STE mask for backward in training mode.
   void compute_effective_weight();
-  /// Quantize input activations (observing ranges in training mode).
-  Tensor quantize_input(const Tensor& x);
+  /// Quantize input activations into `out` (observing ranges in training
+  /// mode). `out` is typically a workspace buffer or a member cache.
+  void quantize_input(const Tensor& x, Tensor& out);
   /// Validate a noise-batched input's leading dimension and detect the
   /// shared-input case (all nb chip blocks bit-identical — true at the
   /// first quant layer of a batched Monte-Carlo forward). Throws
   /// std::invalid_argument when the rows don't divide by nb.
   bool batched_input_shared(const Tensor& x, index_t nb, const char* who) const;
   /// quantize_input of either the full input or, when `shared`, just its
-  /// first chip block (the broadcast fast path).
-  Tensor quantize_forward_input(const Tensor& x, index_t nb, bool shared);
+  /// first chip block (the broadcast fast path), written into `out`.
+  void quantize_forward_input(const Tensor& x, index_t nb, bool shared,
+                              Tensor& out);
   /// Analog MVM of the (possibly chip-grouped) 2-D activations against
   /// the effective weights, plus the self-tuning correction: dispatches
   /// the plain / grouped / shared NT GEMM and feeds the LTM row sums
-  /// (tiled when the input is shared).
-  Tensor analog_matmul(const Tensor& a2d, index_t nb, bool shared) const;
+  /// (tiled when the input is shared). Writes into `y` (workspace
+  /// buffer); allocation-free at steady shape.
+  void analog_matmul_into(const Tensor& a2d, index_t nb, bool shared,
+                          Tensor& y) const;
   /// Apply the active self-tuning correction to the 2-D analog output
   /// {rows, fan_out}; `row_sums` holds sum_j xq_j per row (LTM measurand).
   void apply_correction(Tensor& y2d, const std::vector<float>& row_sums) const;
@@ -195,6 +216,11 @@ class QuantLayerBase : public Layer {
   Tensor x_mask_;    // activation STE mask
   double last_macs_ = 0.0;
   double last_positions_ = 1.0;
+  // Scratch arena: Module injects its shared workspace via
+  // set_workspace(); standalone layers (benches, unit tests) fall back to
+  // a private one so the zero-alloc reuse applies everywhere.
+  Workspace local_ws_;
+  Workspace* ws_ = &local_ws_;
 };
 
 /// Fully connected quantized layer: x {N, in} -> {N, out}.
@@ -210,6 +236,13 @@ class QuantLinear : public QuantLayerBase {
 };
 
 /// 2-D convolution over NCHW via im2col: weight {cout, cin*k*k}.
+///
+/// Inference forwards fuse the activation quantizer into the im2col
+/// gather (tensor/conv_ops.h) — no intermediate quantized tensor — and
+/// all scratch (2-D GEMM output, permuted gradients) lives in the
+/// workspace, so repeated same-shape calls are allocation-free. `cols_`
+/// stays a member: it is the forward cache backward consumes, which the
+/// workspace lifetime contract excludes from its slots.
 class QuantConv2d : public QuantLayerBase {
  public:
   QuantConv2d(index_t in_channels, index_t out_channels, index_t kernel,

@@ -2,12 +2,14 @@
 
 #include <cmath>
 
+#include "tensor/parallel_for.h"
+
 namespace qavat {
 
 void quantize_dequantize(const Tensor& x, float scale, index_t bits, Tensor& out,
                          Tensor* ste_mask) {
-  out.resize(x.shape());
-  if (ste_mask != nullptr) ste_mask->resize(x.shape());
+  out.resize_for_overwrite(x.shape());
+  if (ste_mask != nullptr) ste_mask->resize_for_overwrite(x.shape());
   const float qmax = static_cast<float>(signed_qmax(bits));
   const float* px = x.data();
   float* po = out.data();
@@ -18,13 +20,16 @@ void quantize_dequantize(const Tensor& x, float scale, index_t bits, Tensor& out
     return;
   }
   const float inv = 1.0f / scale;
-  for (index_t i = 0; i < x.size(); ++i) {
-    float q = std::nearbyint(px[i] * inv);
-    const bool inside = q >= -qmax && q <= qmax;
-    if (!inside) q = q < -qmax ? -qmax : qmax;
-    po[i] = q * scale;
-    if (pm != nullptr) pm[i] = inside ? 1.0f : 0.0f;
-  }
+  // Pure elementwise map: any thread partition is bit-identical.
+  parallel_for_elems(x.size(), [=](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) {
+      float q = std::nearbyint(px[i] * inv);
+      const bool inside = q >= -qmax && q <= qmax;
+      if (!inside) q = q < -qmax ? -qmax : qmax;
+      po[i] = q * scale;
+      if (pm != nullptr) pm[i] = inside ? 1.0f : 0.0f;
+    }
+  });
 }
 
 float mmse_scale(const Tensor& x, index_t bits) {
@@ -64,8 +69,8 @@ void ActQuantizer::observe(const Tensor& x) {
 }
 
 void ActQuantizer::quantize(const Tensor& x, Tensor& out, Tensor* ste_mask) const {
-  out.resize(x.shape());
-  if (ste_mask != nullptr) ste_mask->resize(x.shape());
+  out.resize_for_overwrite(x.shape());
+  if (ste_mask != nullptr) ste_mask->resize_for_overwrite(x.shape());
   const float* px = x.data();
   float* po = out.data();
   float* pm = ste_mask != nullptr ? ste_mask->data() : nullptr;
@@ -78,13 +83,18 @@ void ActQuantizer::quantize(const Tensor& x, Tensor& out, Tensor* ste_mask) cons
   }
   const float qmax = static_cast<float>(unsigned_qmax(bits_));
   const float inv = 1.0f / scale_;
-  for (index_t i = 0; i < x.size(); ++i) {
-    float q = std::nearbyint(px[i] * inv);
-    const bool inside = q >= 0.0f && q <= qmax;
-    if (!inside) q = q < 0.0f ? 0.0f : qmax;
-    po[i] = q * scale_;
-    if (pm != nullptr) pm[i] = inside ? 1.0f : 0.0f;
-  }
+  const float s = scale_;
+  // Elementwise; the fused inference gather (tensor/conv_ops.h
+  // im2col_quant) must stay arithmetic-identical to this loop.
+  parallel_for_elems(x.size(), [=](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) {
+      float q = std::nearbyint(px[i] * inv);
+      const bool inside = q >= 0.0f && q <= qmax;
+      if (!inside) q = q < 0.0f ? 0.0f : qmax;
+      po[i] = q * s;
+      if (pm != nullptr) pm[i] = inside ? 1.0f : 0.0f;
+    }
+  });
 }
 
 }  // namespace qavat

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <numeric>
 
+#include "tensor/parallel_for.h"
+
 namespace qavat {
 
 namespace {
@@ -30,12 +32,15 @@ class Adam {
       const float* g = p->grad.data();
       float* m1 = p->adam_m.data();
       float* m2 = p->adam_v.data();
-      for (index_t i = 0; i < p->value.size(); ++i) {
-        m1[i] = static_cast<float>(b1 * m1[i] + (1.0 - b1) * g[i]);
-        m2[i] = static_cast<float>(b2 * m2[i] + (1.0 - b2) * g[i] * g[i]);
-        v[i] -= static_cast<float>(corr * m1[i] /
-                                   (std::sqrt(static_cast<double>(m2[i])) + eps));
-      }
+      // Pure elementwise update: any thread partition is bit-identical.
+      parallel_for_elems(p->value.size(), [=](index_t i0, index_t i1) {
+        for (index_t i = i0; i < i1; ++i) {
+          m1[i] = static_cast<float>(b1 * m1[i] + (1.0 - b1) * g[i]);
+          m2[i] = static_cast<float>(b2 * m2[i] + (1.0 - b2) * g[i] * g[i]);
+          v[i] -= static_cast<float>(
+              corr * m1[i] / (std::sqrt(static_cast<double>(m2[i])) + eps));
+        }
+      });
     }
   }
 
@@ -137,9 +142,9 @@ TrainResult train(Module& model, const Dataset& data, TrainAlgo algo,
           seen += end - start;
         }
         if (n_samples > 1) {
-          float* g = grad.data();
-          const float inv = 1.0f / static_cast<float>(n_samples);
-          for (index_t i = 0; i < grad.size(); ++i) g[i] *= inv;
+          // Average Algorithm 1's n variation samples via the shared
+          // vectorized scale kernel (tensor/ops.h).
+          scale(grad, 1.0f / static_cast<float>(n_samples));
         }
         model.backward(grad);
         if (noisy) clear_noise(qlayers);

@@ -101,12 +101,16 @@ void accuracy_batched(Module& model, const Dataset& test, const EvalConfig& ecfg
   }
   const index_t chunk = std::max<index_t>(1, ecfg.batch_size / nb);
   std::vector<index_t> correct(static_cast<std::size_t>(nb), 0);
+  // Chunk-loop scratch hoisted out of the loop: every chunk of a group
+  // (and every group of a run) reuses the same buffers.
+  std::vector<index_t> idx, idx_tiled;
+  Tensor block;
   for (index_t start = 0; start < n; start += chunk) {
     const index_t end = std::min(n, start + chunk);
     const index_t rows = end - start;
-    std::vector<index_t> idx(static_cast<std::size_t>(rows));
+    idx.resize(static_cast<std::size_t>(rows));
     for (index_t i = 0; i < rows; ++i) idx[static_cast<std::size_t>(i)] = start + i;
-    std::vector<index_t> idx_tiled;
+    idx_tiled.clear();
     idx_tiled.reserve(static_cast<std::size_t>(nb * rows));
     for (index_t b = 0; b < nb; ++b) {
       idx_tiled.insert(idx_tiled.end(), idx.begin(), idx.end());
@@ -115,7 +119,7 @@ void accuracy_batched(Module& model, const Dataset& test, const EvalConfig& ecfg
     const std::vector<index_t> y = test.gather_labels(idx);
     Tensor logits = model.forward(x);  // {nb*rows, classes}
     const index_t classes = logits.dim(1);
-    Tensor block({rows, classes});
+    block.resize_for_overwrite({rows, classes});
     for (index_t b = 0; b < nb; ++b) {
       std::memcpy(block.data(), logits.data() + b * rows * classes,
                   static_cast<std::size_t>(rows * classes) * sizeof(float));

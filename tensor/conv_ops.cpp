@@ -1,0 +1,272 @@
+#include "tensor/conv_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/parallel_for.h"
+
+namespace qavat {
+
+namespace {
+
+// Thread grain targets, mirroring the GEMM constants in ops.cpp: chunks
+// carry at least kMinElemsPerChunk elements of traffic and ranges below
+// kSerialElems never fork. Both are pure functions of shape, so the
+// fork-or-not decision (and therefore the code path) never depends on the
+// thread count.
+constexpr index_t kMinElemsPerChunk = index_t{1} << 15;
+constexpr index_t kSerialElems = index_t{1} << 17;
+
+inline index_t grain_for(index_t per_item) {
+  return std::max<index_t>(1, (kMinElemsPerChunk + per_item - 1) / per_item);
+}
+
+// One im2col output row (one output position): gather the C*K*K window,
+// zero-padding out-of-image taps, applying `xf` to every in-image value.
+// KS is the compile-time kernel size (0 = runtime-sized fallback): with a
+// constant trip count the per-tap loops fully unroll, which is what makes
+// the gather bandwidth-bound instead of loop-overhead-bound at the small
+// K (1/2/3/5) every model here uses. Interior positions (no clipping)
+// take a branch-free path.
+template <index_t KS, typename Xf>
+inline void gather_row(const float* px, const ConvGeom& g, float* row,
+                       index_t ni, index_t y, index_t xo, const Xf& xf) {
+  const index_t k = KS > 0 ? KS : g.k;
+  const index_t h = g.h, w = g.w, c = g.c;
+  const index_t iy0 = y * g.stride - g.pad;
+  const index_t ix0 = xo * g.stride - g.pad;
+  if (iy0 >= 0 && iy0 + k <= h && ix0 >= 0 && ix0 + k <= w) {
+    const float* base = px + ni * c * h * w + iy0 * w + ix0;
+    for (index_t ci = 0; ci < c; ++ci) {
+      const float* src = base + ci * h * w;
+      float* dst = row + ci * k * k;
+      for (index_t ky = 0; ky < k; ++ky) {
+        const float* s = src + ky * w;
+        float* d = dst + ky * k;
+        for (index_t kx = 0; kx < k; ++kx) d[kx] = xf(s[kx]);
+      }
+    }
+    return;
+  }
+  const index_t kx_lo = std::max<index_t>(0, -ix0);
+  const index_t kx_hi = std::min<index_t>(k, w - ix0);
+  for (index_t ci = 0; ci < c; ++ci) {
+    const float* plane = px + (ni * c + ci) * h * w;
+    for (index_t ky = 0; ky < k; ++ky) {
+      float* dst = row + (ci * k + ky) * k;
+      const index_t iy = iy0 + ky;
+      if (iy < 0 || iy >= h) {
+        for (index_t kx = 0; kx < k; ++kx) dst[kx] = 0.0f;
+        continue;
+      }
+      // Index from the row base: ix0 can be negative, and forming
+      // `plane + iy*w + ix0` would be an out-of-bounds pointer (UB) even
+      // though only kx >= kx_lo is ever read.
+      const float* srow = plane + iy * w;
+      for (index_t kx = 0; kx < kx_lo; ++kx) dst[kx] = 0.0f;
+      for (index_t kx = kx_lo; kx < kx_hi; ++kx) dst[kx] = xf(srow[ix0 + kx]);
+      for (index_t kx = kx_hi; kx < k; ++kx) dst[kx] = 0.0f;
+    }
+  }
+}
+
+// Threaded sweep over im2col output rows [r0, r1). Each row is written by
+// exactly one thread with a fixed gather order — bit-identical for any
+// partition.
+template <index_t KS, typename Xf>
+void im2col_sweep(const Tensor& x, const ConvGeom& g, Tensor& cols,
+                  const Xf& xf) {
+  const index_t ckk = g.ckk(), rows = g.rows();
+  cols.resize_for_overwrite({rows, ckk});
+  const float* px = x.data();
+  float* pc = cols.data();
+  auto run = [&, px, pc](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const index_t ni = r / (g.oh * g.ow);
+      const index_t rem = r - ni * g.oh * g.ow;
+      gather_row<KS>(px, g, pc + r * ckk, ni, rem / g.ow, rem % g.ow, xf);
+    }
+  };
+  if (rows * ckk < kSerialElems) {
+    run(index_t{0}, rows);
+  } else {
+    parallel_for(index_t{0}, rows, grain_for(ckk), run);
+  }
+}
+
+// Kernel-size dispatch (values are identical across instantiations; only
+// the unrolling changes, so this is a pure schedule decision).
+template <typename Xf>
+void im2col_impl(const Tensor& x, const ConvGeom& g, Tensor& cols,
+                 const Xf& xf) {
+  switch (g.k) {
+    case 1: im2col_sweep<1>(x, g, cols, xf); break;
+    case 2: im2col_sweep<2>(x, g, cols, xf); break;
+    case 3: im2col_sweep<3>(x, g, cols, xf); break;
+    case 5: im2col_sweep<5>(x, g, cols, xf); break;
+    default: im2col_sweep<0>(x, g, cols, xf); break;
+  }
+}
+
+}  // namespace
+
+void im2col(const Tensor& x, const ConvGeom& g, Tensor& cols) {
+  im2col_impl(x, g, cols, [](float v) { return v; });
+}
+
+void im2col_quant(const Tensor& x, const ConvGeom& g, float scale,
+                  index_t qmax, Tensor& cols) {
+  const float inv = 1.0f / scale;
+  const float qm = static_cast<float>(qmax);
+  // Same expression as ActQuantizer::quantize, applied per gathered
+  // element; zero-padding commutes (quantize(0) == 0).
+  im2col_impl(x, g, cols, [inv, scale, qm](float v) {
+    float q = std::nearbyint(v * inv);
+    const bool inside = q >= 0.0f && q <= qm;
+    if (!inside) q = q < 0.0f ? 0.0f : qm;
+    return q * scale;
+  });
+}
+
+namespace {
+
+// Owner-computes gather: input row index r = (ni*C + ci)*H + iy; each
+// thread fully produces its rows. Per element, window contributions
+// accumulate in ascending (ky, kx) order — a pure function of shape —
+// so any thread count (and any chunking) is bit-identical. KS as in
+// gather_row: compile-time kernel size, 0 = runtime fallback.
+template <index_t KS>
+void col2im_sweep(const Tensor& cols, const ConvGeom& g, Tensor& gx) {
+  gx.resize_for_overwrite({g.n, g.c, g.h, g.w});
+  const index_t k = KS > 0 ? KS : g.k;
+  const index_t stride = g.stride, pad = g.pad;
+  const index_t w = g.w, oh = g.oh, ow = g.ow, ckk = g.ckk();
+  const float* pc = cols.data();
+  float* pg = gx.data();
+  const index_t in_rows = g.n * g.c * g.h;
+  auto run = [&, pc, pg](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const index_t ni = r / (g.c * g.h);
+      const index_t rem = r - ni * g.c * g.h;
+      const index_t ci = rem / g.h, iy = rem % g.h;
+      float* out = pg + r * w;
+      for (index_t ix = 0; ix < w; ++ix) out[ix] = 0.0f;
+      for (index_t ky = 0; ky < k; ++ky) {
+        const index_t t = iy + pad - ky;
+        if (t < 0 || t % stride != 0) continue;
+        const index_t y = t / stride;
+        if (y >= oh) continue;
+        const float* cbase = pc + (ni * oh + y) * ow * ckk + (ci * k + ky) * k;
+        for (index_t kx = 0; kx < k; ++kx) {
+          // ix = xo*stride - pad + kx in [0, w)  =>  xo range. A negative
+          // upper numerator means no xo can reach the image (C++ division
+          // truncates toward zero, so -1/stride would wrongly allow
+          // xo = 0); skip the tap.
+          const index_t hi_num = w - 1 + pad - kx;
+          if (hi_num < 0) continue;
+          const index_t xo_lo =
+              pad > kx ? (pad - kx + stride - 1) / stride : index_t{0};
+          const index_t xo_hi = std::min<index_t>(ow - 1, hi_num / stride);
+          // Index `out` with the full expression (>= 0 for xo >= xo_lo):
+          // pre-offsetting by kx - pad would form a before-the-array
+          // pointer (UB) whenever pad > kx.
+          const float* src = cbase + kx;
+          for (index_t xo = xo_lo; xo <= xo_hi; ++xo) {
+            out[xo * stride + kx - pad] += src[xo * ckk];
+          }
+        }
+      }
+    }
+  };
+  if (in_rows * w * k < kSerialElems) {
+    run(index_t{0}, in_rows);
+  } else {
+    parallel_for(index_t{0}, in_rows, grain_for(w * k * k), run);
+  }
+}
+
+}  // namespace
+
+void col2im(const Tensor& cols, const ConvGeom& g, Tensor& gx) {
+  switch (g.k) {
+    case 1: col2im_sweep<1>(cols, g, gx); break;
+    case 2: col2im_sweep<2>(cols, g, gx); break;
+    case 3: col2im_sweep<3>(cols, g, gx); break;
+    case 5: col2im_sweep<5>(cols, g, gx); break;
+    default: col2im_sweep<0>(cols, g, gx); break;
+  }
+}
+
+void maxpool2d(const Tensor& x, index_t k, Tensor& y,
+               std::vector<index_t>& argmax) {
+  const index_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const index_t oh = h / k, ow = w / k;
+  y.resize_for_overwrite({n, c, oh, ow});
+  argmax.resize(static_cast<std::size_t>(y.size()));
+  const float* px = x.data();
+  float* py = y.data();
+  index_t* parg = argmax.data();
+  auto run = [&, px, py, parg](index_t nc0, index_t nc1) {
+    for (index_t nc = nc0; nc < nc1; ++nc) {
+      const float* plane = px + nc * h * w;
+      for (index_t oy = 0; oy < oh; ++oy) {
+        for (index_t ox = 0; ox < ow; ++ox) {
+          index_t best = (oy * k) * w + ox * k;
+          float bv = plane[best];
+          for (index_t dy = 0; dy < k; ++dy) {
+            for (index_t dx = 0; dx < k; ++dx) {
+              const index_t idx = (oy * k + dy) * w + ox * k + dx;
+              if (plane[idx] > bv) {  // strict > : first max wins the tie
+                bv = plane[idx];
+                best = idx;
+              }
+            }
+          }
+          const index_t oidx = nc * oh * ow + oy * ow + ox;
+          py[oidx] = bv;
+          parg[oidx] = nc * h * w + best;
+        }
+      }
+    }
+  };
+  const index_t planes = n * c;
+  if (planes * h * w < kSerialElems) {
+    run(index_t{0}, planes);
+  } else {
+    parallel_for(index_t{0}, planes, grain_for(h * w), run);
+  }
+}
+
+void maxpool2d_backward(const Tensor& gy, const std::vector<index_t>& argmax,
+                        const std::vector<index_t>& in_shape, Tensor& gx) {
+  gx.resize_for_overwrite(in_shape);
+  const index_t n = in_shape[0], c = in_shape[1];
+  const index_t hw = in_shape[2] * in_shape[3];
+  const index_t ohw = gy.size() / (n * c);
+  const float* pgy = gy.data();
+  const index_t* parg = argmax.data();
+  float* pgx = gx.data();
+  // Pooling windows are disjoint and argmax indices stay inside their own
+  // plane, so a plane split scatters race-free; each gx element is
+  // written (zero or one scatter after the zero-fill) by its plane's
+  // owner thread only.
+  auto run = [&, pgy, parg, pgx](index_t nc0, index_t nc1) {
+    for (index_t nc = nc0; nc < nc1; ++nc) {
+      float* plane = pgx + nc * hw;
+      for (index_t i = 0; i < hw; ++i) plane[i] = 0.0f;
+      const index_t base = nc * ohw;
+      for (index_t i = 0; i < ohw; ++i) {
+        pgx[parg[base + i]] += pgy[base + i];
+      }
+    }
+  };
+  const index_t planes = n * c;
+  if (planes * hw < kSerialElems) {
+    run(index_t{0}, planes);
+  } else {
+    parallel_for(index_t{0}, planes, grain_for(hw), run);
+  }
+}
+
+}  // namespace qavat

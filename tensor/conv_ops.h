@@ -1,0 +1,84 @@
+// Convolution/pooling loop nests: im2col, col2im, max-pooling, and the
+// fused act-quantize + im2col gather used by the inference path. Following
+// the Halide schedule/algorithm separation, this file owns the SCHEDULE
+// (threading grain, loop order, padding specialization) for the conv
+// pipeline, while the algorithms stay naive-loop-equivalent — the same
+// determinism contract tensor/ops.h establishes for the GEMM kernels.
+//
+// Determinism contract (tested by tests/test_conv_ops.cpp):
+//  * Every output element is produced by exactly one thread with a fixed
+//    per-element operation order, so results are bit-identical for any
+//    QAVAT_THREADS, including 1.
+//  * col2im is the dangerous one: as a scatter-add over overlapping
+//    windows, a naive row split races (adjacent output-row chunks
+//    scatter into the same input rows) and atomics would "fix" the race
+//    only by making the float accumulation ORDER scheduling-dependent —
+//    both are banned. A parallel scatter formulation must instead use
+//    per-chunk partial buffers (one per FIXED grain chunk, not per
+//    thread) combined in a deterministic serial reduction. We avoid even
+//    that cost by restructuring to owner-computes GATHER form: each
+//    thread owns whole input rows and accumulates the <= K*K window
+//    contributions per element in fixed (ky, kx) ascending order. No
+//    shared writes, no atomics, no partials.
+//  * im2col/pooling threading grains are whole output rows / whole
+//    (image, channel) planes, so chunk boundaries can never split one
+//    output element's work.
+//
+// The fused im2col_quant applies the unsigned activation quantizer
+// elementwise while gathering — arithmetic identical to
+// ActQuantizer::quantize followed by im2col (quantize(0) == 0, so padding
+// commutes with the quantizer) — removing one full tensor pass and one
+// scratch tensor. Because the gather visits each input element once per
+// covering window, the fusion only pays off when windows do not overlap
+// (stride >= k; e.g. 1x1 convs); QuantConv2d shape-gates it accordingly
+// and otherwise quantizes once (vectorized) before a pure-copy gather.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qavat {
+
+/// Geometry of one conv application. `n` is the number of images actually
+/// gathered — pass n = x.dim(0) / nb to read only the first chip block of
+/// a noise-batched input that is known to be nb identical blocks.
+struct ConvGeom {
+  index_t n, c, h, w;       // input images (leading prefix of x)
+  index_t k, stride, pad;   // square kernel
+  index_t oh, ow;           // output spatial dims
+
+  index_t ckk() const { return c * k * k; }
+  index_t rows() const { return n * oh * ow; }  // im2col rows
+};
+
+/// x (NCHW, first g.n images) -> cols {g.n*g.oh*g.ow, g.ckk()}; row index
+/// = (n*OH + oh)*OW + ow, zero padding. Threaded over output rows.
+void im2col(const Tensor& x, const ConvGeom& g, Tensor& cols);
+
+/// im2col with the unsigned activation quantizer fused into the gather:
+/// every gathered element v becomes scale * clamp(nearbyint(v / scale),
+/// 0, qmax). Bit-identical to ActQuantizer::quantize + im2col.
+void im2col_quant(const Tensor& x, const ConvGeom& g, float scale,
+                  index_t qmax, Tensor& cols);
+
+/// Transpose of im2col: scatter-add the cols-layout gradient back to the
+/// input image layout (gather form, see the contract above). Writes every
+/// element of gx (resized to {g.n, g.c, g.h, g.w}); threaded over input
+/// rows.
+void col2im(const Tensor& cols, const ConvGeom& g, Tensor& gx);
+
+/// Non-overlapping k x k max pooling over NCHW (floor semantics: trailing
+/// rows/cols that do not fill a window are dropped). `argmax` records the
+/// flat input index of each selected element for the backward scatter.
+/// Ties break to the first (lowest-index) element, value-independent of
+/// threading. Threaded over (image, channel) planes.
+void maxpool2d(const Tensor& x, index_t k, Tensor& y,
+               std::vector<index_t>& argmax);
+
+/// Scatter gy through argmax into gx (resized + zeroed to in_shape).
+/// Window positions are disjoint, so plane-parallel scatter is race-free.
+void maxpool2d_backward(const Tensor& gy, const std::vector<index_t>& argmax,
+                        const std::vector<index_t>& in_shape, Tensor& gx);
+
+}  // namespace qavat

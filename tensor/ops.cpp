@@ -116,8 +116,12 @@ inline void mul_tile1(const LoadA& load_a, const float* pb, index_t bstride,
 }
 
 // Tile sweep over one C row band [i, i+rows) for C columns [j0, j0+jr);
-// `rows` is 4 or the final remainder. The full-width tile runs with a
-// compile-time constant trip count so the accumulators stay in registers.
+// `rows` is 4 or the final remainder. Full-width (32) and half-width (16)
+// tiles run with compile-time constant trip counts so the accumulators
+// stay in registers — the 16-wide case is the narrow-fan-out conv/linear
+// layers (cout 16), where a 32-wide tile would waste half its lanes.
+// JR only sizes the accumulator array; the per-element accumulation
+// order (ascending p) is identical across instantiations.
 template <typename LoadA>
 void mul_band(const LoadA& load_a, const float* pb, index_t bstride,
               index_t bj0, float* pc, index_t i, index_t rows, index_t j0,
@@ -125,6 +129,8 @@ void mul_band(const LoadA& load_a, const float* pb, index_t bstride,
   if (rows == kRowBlock) {
     if (jr == kJTile) {
       mul_tile4<kJTile>(load_a, pb, bstride, bj0, pc, i, j0, kJTile, k, n);
+    } else if (jr == kJTile / 2) {
+      mul_tile4<kJTile / 2>(load_a, pb, bstride, bj0, pc, i, j0, jr, k, n);
     } else {
       mul_tile4<kJTile>(load_a, pb, bstride, bj0, pc, i, j0, jr, k, n);
     }
@@ -134,6 +140,8 @@ void mul_band(const LoadA& load_a, const float* pb, index_t bstride,
       auto load_r = [&](index_t p, index_t) { return load_a(p, r); };
       if (jr == kJTile) {
         mul_tile1<kJTile>(load_r, pb, bstride, bj0, pc, ir, j0, kJTile, k, n);
+      } else if (jr == kJTile / 2) {
+        mul_tile1<kJTile / 2>(load_r, pb, bstride, bj0, pc, ir, j0, jr, k, n);
       } else {
         mul_tile1<kJTile>(load_r, pb, bstride, bj0, pc, ir, j0, jr, k, n);
       }
@@ -249,34 +257,44 @@ void launch_rows(index_t m, index_t macs_per_row, Core&& core) {
 
 }  // namespace
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& c) {
   check_gemm_2d("matmul", a, b, 1, 0);
   const index_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Tensor c({m, n});
+  c.resize_for_overwrite({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
   launch_rows(m, k * n, [=](index_t i0, index_t i1) {
     gemm_nn_rows(pa, pb, pc, i0, i1, k, n);
   });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_into(a, b, c);
   return c;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c) {
   check_gemm_2d("matmul_nt", a, b, 1, 1);
   const index_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  Tensor c({m, n});
+  c.resize_for_overwrite({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
   if (m * k * n < kSerialMacs) {
     gemm_nt_rows(pa, pb, pc, index_t{0}, m, k, n);
-    return c;
+    return;
   }
   // Pack every B panel once up front so row-split worker threads share
-  // the transposed panels instead of each re-packing all of B.
+  // the transposed panels instead of each re-packing all of B. The pack
+  // buffer is thread_local so the many same-shape NT GEMMs of an eval or
+  // training loop reuse one allocation.
   const index_t npanels = (n + kJTile - 1) / kJTile;
-  std::vector<float> pack(static_cast<std::size_t>(npanels * k * kJTile));
+  thread_local std::vector<float> pack;
+  if (pack.size() < static_cast<std::size_t>(npanels * k * kJTile)) {
+    pack.resize(static_cast<std::size_t>(npanels * k * kJTile));
+  }
   for (index_t j0 = 0; j0 < n; j0 += kJTile) {
     pack_nt_panel(pb, k, j0, std::min(kJTile, n - j0),
                   pack.data() + (j0 / kJTile) * k * kJTile);
@@ -288,23 +306,34 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
                          j0, std::min(kJTile, n - j0), k, n);
     }
   });
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_nt_into(a, b, c);
   return c;
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& c) {
   check_gemm_2d("matmul_tn", a, b, 0, 0);
   const index_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  Tensor c({m, n});
+  c.resize_for_overwrite({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
   launch_rows(m, k * n, [=](index_t i0, index_t i1) {
     gemm_tn_rows(pa, pb, pc, i0, i1, k, m, n);
   });
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_tn_into(a, b, c);
   return c;
 }
 
-Tensor matmul_nt_shared(const Tensor& a, const Tensor& b, index_t groups) {
+void matmul_nt_shared_into(const Tensor& a, const Tensor& b, index_t groups,
+                           Tensor& c) {
   check_gemm_2d("matmul_nt_shared", a, b, 1, 1);
   if (groups < 1) {
     throw std::invalid_argument("matmul_nt_shared: groups must be >= 1");
@@ -315,7 +344,7 @@ Tensor matmul_nt_shared(const Tensor& a, const Tensor& b, index_t groups) {
         " with groups=" + std::to_string(groups));
   }
   const index_t rows = a.dim(0), k = a.dim(1), n = b.dim(0) / groups;
-  Tensor c({groups * rows, n});
+  c.resize_for_overwrite({groups * rows, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -329,10 +358,16 @@ Tensor matmul_nt_shared(const Tensor& a, const Tensor& b, index_t groups) {
   } else {
     parallel_for(index_t{0}, groups, index_t{1}, run);
   }
+}
+
+Tensor matmul_nt_shared(const Tensor& a, const Tensor& b, index_t groups) {
+  Tensor c;
+  matmul_nt_shared_into(a, b, groups, c);
   return c;
 }
 
-Tensor matmul_nt_batched(const Tensor& a, const Tensor& b, index_t groups) {
+void matmul_nt_batched_into(const Tensor& a, const Tensor& b, index_t groups,
+                            Tensor& c) {
   check_gemm_2d("matmul_nt_batched", a, b, 1, 1);
   if (groups < 1) {
     throw std::invalid_argument("matmul_nt_batched: groups must be >= 1");
@@ -344,7 +379,7 @@ Tensor matmul_nt_batched(const Tensor& a, const Tensor& b, index_t groups) {
   }
   const index_t rows = a.dim(0) / groups;  // rows per group
   const index_t k = a.dim(1), n = b.dim(0) / groups;
-  Tensor c({a.dim(0), n});
+  c.resize_for_overwrite({a.dim(0), n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -362,6 +397,11 @@ Tensor matmul_nt_batched(const Tensor& a, const Tensor& b, index_t groups) {
   } else {
     parallel_for(index_t{0}, groups, index_t{1}, run);
   }
+}
+
+Tensor matmul_nt_batched(const Tensor& a, const Tensor& b, index_t groups) {
+  Tensor c;
+  matmul_nt_batched_into(a, b, groups, c);
   return c;
 }
 
@@ -382,15 +422,33 @@ void fill_uniform(Tensor& t, Rng& rng, double lo, double hi) {
 }
 
 void relu_inplace(Tensor& x, Tensor* mask) {
-  if (mask != nullptr) mask->resize(x.shape());
+  if (mask != nullptr) mask->resize_for_overwrite(x.shape());
   float* p = x.data();
   float* m = mask != nullptr ? mask->data() : nullptr;
-  for (index_t i = 0; i < x.size(); ++i) {
-    const bool pos = p[i] > 0.0f;
-    if (!pos) p[i] = 0.0f;
-    if (m != nullptr) m[i] = pos ? 1.0f : 0.0f;
-  }
+  parallel_for_elems(x.size(), [p, m](index_t i0, index_t i1) {
+    if (m != nullptr) {
+      for (index_t i = i0; i < i1; ++i) {
+        const bool pos = p[i] > 0.0f;
+        if (!pos) p[i] = 0.0f;
+        m[i] = pos ? 1.0f : 0.0f;
+      }
+    } else {
+      QAVAT_SIMD
+      for (index_t i = i0; i < i1; ++i) {
+        if (p[i] < 0.0f) p[i] = 0.0f;
+      }
+    }
+  });
 }
+
+void scale(float* p, index_t n, float s) {
+  parallel_for_elems(n, [p, s](index_t i0, index_t i1) {
+    QAVAT_SIMD
+    for (index_t i = i0; i < i1; ++i) p[i] *= s;
+  });
+}
+
+void scale(Tensor& t, float s) { scale(t.data(), t.size(), s); }
 
 double softmax_xent(const Tensor& logits, const std::vector<index_t>& labels,
                     Tensor* grad, index_t* correct) {

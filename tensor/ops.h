@@ -32,6 +32,18 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b);
 /// C = A(k,m)^T * B(k,n) -> (m,n).
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
 
+/// Allocation-free variants: write into a caller-provided (typically
+/// workspace) tensor, resized without zero-fill — every element is
+/// produced by the kernel. Results are bit-identical to the returning
+/// forms; `c` must not alias an operand.
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_nt_batched_into(const Tensor& a, const Tensor& b, index_t groups,
+                            Tensor& c);
+void matmul_nt_shared_into(const Tensor& a, const Tensor& b, index_t groups,
+                           Tensor& c);
+
 /// Grouped NT GEMM over `groups` stacked blocks: A {g*rows, k} (row-major
 /// groups), B {g*n, k} (one stacked weight block per group), C {g*rows, n}
 /// where C block i = A block i * (B block i)^T. Groups run in parallel;
@@ -55,6 +67,13 @@ void fill_uniform(Tensor& t, Rng& rng, double lo, double hi);
 
 /// In-place ReLU; optionally records the pass-through mask (1 where x > 0).
 void relu_inplace(Tensor& x, Tensor* mask = nullptr);
+
+/// p[i] *= s over [0, n) — the vectorized/threaded scalar-scale kernel
+/// shared by the trainer's gradient averaging, the optimizer update and
+/// the self-tuning gain correction.
+void scale(float* p, index_t n, float s);
+/// t *= s elementwise.
+void scale(Tensor& t, float s);
 
 /// Softmax cross-entropy over logits {N, C} with integer labels.
 /// Writes dL/dlogits (averaged over the batch) into `grad` when non-null.

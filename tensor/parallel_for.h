@@ -43,6 +43,13 @@ bool in_parallel_region();
 void set_in_parallel_region(bool on);
 }  // namespace detail
 
+/// Default grain (indices per chunk) and serial cutoff for pure
+/// elementwise kernels dispatched via parallel_for_elems below. Shared by
+/// the quantizers, activation ops and scratch fills so every elementwise
+/// pass in the pipeline makes the same fork-or-not decision.
+constexpr index_t kElemGrain = index_t{1} << 16;
+constexpr index_t kSerialElemWork = index_t{1} << 18;
+
 template <typename Fn>
 void parallel_for(index_t begin, index_t end, index_t grain, Fn&& fn) {
   const index_t total = end - begin;
@@ -70,6 +77,21 @@ void parallel_for(index_t begin, index_t end, index_t grain, Fn&& fn) {
   for (index_t t = 1; t < nt; ++t) workers.emplace_back(run, t);
   run(0);
   for (auto& w : workers) w.join();
+}
+
+/// Elementwise dispatch over [0, n): runs fn(i0, i1) serially below
+/// kSerialElemWork indices, otherwise splits with kElemGrain-sized chunks.
+/// Safe for any kernel whose per-index work is independent of the chunk
+/// boundaries (each index is touched by exactly one call) — such kernels
+/// are bit-identical for any thread count by construction.
+template <typename Fn>
+void parallel_for_elems(index_t n, Fn&& fn) {
+  if (n <= 0) return;
+  if (n < kSerialElemWork) {
+    fn(index_t{0}, n);
+    return;
+  }
+  parallel_for(index_t{0}, n, kElemGrain, fn);
 }
 
 }  // namespace qavat

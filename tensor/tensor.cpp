@@ -78,6 +78,11 @@ void Tensor::resize(std::vector<index_t> shape) {
   data_.assign(static_cast<std::size_t>(numel(shape_)), 0.0f);
 }
 
+void Tensor::resize_for_overwrite(std::vector<index_t> shape) {
+  shape_ = std::move(shape);
+  data_.resize(static_cast<std::size_t>(numel(shape_)));
+}
+
 void Tensor::zero() { fill(0.0f); }
 
 void Tensor::fill(float v) {

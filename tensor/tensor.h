@@ -53,6 +53,12 @@ class Tensor {
 
   void reshape(std::vector<index_t> shape);
   void resize(std::vector<index_t> shape);
+  /// Resize WITHOUT the zero-fill of resize(): existing elements keep
+  /// their (stale) values and new elements are unspecified. For scratch
+  /// buffers that are fully overwritten by the next kernel — at steady
+  /// shape this is a no-op, which is what makes workspace reuse
+  /// allocation- and traversal-free.
+  void resize_for_overwrite(std::vector<index_t> shape);
   void zero();
   void fill(float v);
 

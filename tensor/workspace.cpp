@@ -1,0 +1,55 @@
+#include "tensor/workspace.h"
+
+#include <cstdlib>
+
+namespace qavat {
+
+Tensor& Workspace::acquire(const void* owner, int slot,
+                           std::vector<index_t> shape) {
+  Entry& e = slots_[{owner, slot}];
+  // Re-sync from the tensor's CURRENT size before subtracting: a caller
+  // may have resized the borrowed tensor after the last acquire (e.g. a
+  // kernel sizing its own output), and subtracting a stale record would
+  // underflow the counter.
+  retained_bytes_ -= e.bytes;
+  e.t.resize_for_overwrite(std::move(shape));
+  e.tick = ++clock_;
+  e.bytes = static_cast<std::size_t>(e.t.size()) * sizeof(float);
+  retained_bytes_ += e.bytes;
+  return e.t;
+}
+
+void Workspace::trim(std::size_t cap_bytes) {
+  // Refresh byte records first (callers may have grown borrowed tensors
+  // since their acquire), so the cap applies to what is actually held.
+  std::size_t total = 0;
+  for (auto& kv : slots_) {
+    kv.second.bytes = static_cast<std::size_t>(kv.second.t.size()) * sizeof(float);
+    total += kv.second.bytes;
+  }
+  retained_bytes_ = total;
+  while (retained_bytes_ > cap_bytes && !slots_.empty()) {
+    auto lru = slots_.begin();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (it->second.tick < lru->second.tick) lru = it;
+    }
+    retained_bytes_ -= lru->second.bytes;
+    slots_.erase(lru);
+  }
+}
+
+std::size_t Workspace::cap_bytes_from_env() {
+  static const std::size_t cap = [] {
+    const char* env = std::getenv("QAVAT_WORKSPACE_MB");
+    long mb = 256;
+    if (env != nullptr) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && v > 0) mb = v;
+    }
+    return static_cast<std::size_t>(mb) * (std::size_t{1} << 20);
+  }();
+  return cap;
+}
+
+}  // namespace qavat

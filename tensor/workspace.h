@@ -1,0 +1,73 @@
+// Per-model scratch arena for the conv/eval pipeline.
+//
+// A forward/backward pass through a quant model needs a handful of
+// transient buffers per layer (quantized activations, im2col matrices,
+// 2-D GEMM outputs, permuted gradients). Allocating them per call puts a
+// malloc + page-fault + zero-fill pass on every layer of every
+// Monte-Carlo chip and every training step; the arena instead hands out
+// persistently-sized buffers keyed by (owner, slot), so a steady-state
+// pipeline (same shapes every step) performs zero heap allocation after
+// the first pass.
+//
+// Lifetime contract:
+//  * acquire(owner, slot, shape) returns a Tensor resized (without
+//    zero-fill — resize_for_overwrite) to `shape`. The reference stays
+//    valid until the same key is acquired again or trim() runs; callers
+//    must treat the contents as unspecified and fully overwrite them.
+//  * Buffers that must survive BETWEEN layer calls (e.g. a conv layer's
+//    im2col cache consumed by backward) are layer members, NOT workspace
+//    slots — trim() may free any slot at any sequence point between
+//    top-level forward/backward calls.
+//  * NOT thread-safe: one workspace per model, acquired only from the
+//    single thread driving forward/backward. Kernels parallelize
+//    internally via tensor/parallel_for.h, which never re-enters acquire.
+//
+// The retained footprint is capped by QAVAT_WORKSPACE_MB (default 256):
+// Module::forward/backward call trim(cap_bytes_from_env()) after each
+// pass, which frees least-recently-used slots until under the cap. A cap
+// smaller than one layer's working set is honored best-effort (the live
+// pass always gets its buffers; eviction happens between passes).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qavat {
+
+class Workspace {
+ public:
+  /// Borrow the scratch tensor for (owner, slot), resized to `shape`.
+  /// Contents are unspecified; the caller must overwrite what it reads.
+  Tensor& acquire(const void* owner, int slot, std::vector<index_t> shape);
+
+  /// Bytes currently held across all slots (element storage; excludes
+  /// map overhead). Stable across steady-shape passes — tested as the
+  /// zero-alloc invariant in test_conv_ops.
+  std::size_t retained_bytes() const { return retained_bytes_; }
+
+  /// Free least-recently-acquired slots until retained_bytes() <= cap.
+  /// Invalidates references to the freed slots.
+  void trim(std::size_t cap_bytes);
+
+  /// QAVAT_WORKSPACE_MB (positive integer, megabytes) as a byte cap;
+  /// default 256 MB. Resolved once and cached.
+  static std::size_t cap_bytes_from_env();
+
+ private:
+  struct Entry {
+    Tensor t;
+    std::uint64_t tick = 0;   // last acquire time, for LRU trim
+    std::size_t bytes = 0;    // this entry's recorded share of
+                              // retained_bytes_ (kept exact even when a
+                              // caller resizes the borrowed tensor)
+  };
+  std::map<std::pair<const void*, int>, Entry> slots_;
+  std::uint64_t clock_ = 0;
+  std::size_t retained_bytes_ = 0;
+};
+
+}  // namespace qavat
