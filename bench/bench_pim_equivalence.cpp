@@ -1,17 +1,25 @@
 // Validation bench: the weight-domain variability injection used by the
 // training/evaluation pipeline is equivalent to circuit-level conductance
-// programming noise on the crossbar simulator, and the GTM measurement on
-// a real array column matches its analytic model.
+// programming noise on the crossbar simulator, the GTM measurement on a
+// real array column matches its analytic model, a layer larger than one
+// physical array tiles across multiple 512x512 crossbars bit-identically
+// (ideal config) and statistically equivalently (noisy), and a full
+// Monte-Carlo evaluation routed through the tiled circuit simulator
+// (EvalConfig::backend = kCircuit) matches the weight-domain one.
+// Returns nonzero if any equivalence check fails its tolerance.
 #include <cmath>
+#include <cstring>
 
 #include "bench_common.h"
 #include "pim/chip.h"
+#include "pim/tiling.h"
 
 using namespace qavat;
 using namespace qavat::bench;
 
 int main() {
   std::printf("PIM equivalence checks (circuit vs weight-domain model)\n\n");
+  int failures = 0;
 
   // 1. Crossbar MVM vs noisy weight-domain matmul, identical statistics.
   Rng rng(3);
@@ -39,8 +47,19 @@ int main() {
     }
     // Weight-proportional: Var[err_i] = sigma^2 * sum_j w_ij^2 x_j^2;
     // relative RMS across many outputs ~ sigma * rms(x-weighted terms).
-    table.add_row({to_string(vm), TextTable::fmt(std::sqrt(err2 / ref2), 4),
+    const double rel_rms = std::sqrt(err2 / ref2);
+    table.add_row({to_string(vm), TextTable::fmt(rel_rms, 4),
                    vm == VarianceModel::kWeightProportional ? "~sigma*c" : "~sigma*wmax*c"});
+    // Gate the weight-proportional case, whose O(1) constant is tame:
+    // the circuit-injected relative error must sit at sigma scale.
+    if (vm == VarianceModel::kWeightProportional &&
+        (rel_rms < 0.3 * cfg.variability.sigma_w ||
+         rel_rms > 3.0 * cfg.variability.sigma_w)) {
+      std::printf("  FAIL: rel RMS %.4f outside sigma scale [%.4f, %.4f]\n",
+                  rel_rms, 0.3 * cfg.variability.sigma_w,
+                  3.0 * cfg.variability.sigma_w);
+      ++failures;
+    }
   }
   table.print();
 
@@ -58,14 +77,23 @@ int main() {
       auto gtm = chip.program_gtm(cells, 1.0);
       sq += std::pow(chip.measure_eps_b(gtm) - chip.eps_b(), 2);
     }
-    gtm_table.add_row({std::to_string(cells), TextTable::fmt(std::sqrt(sq / chips), 4),
-                       TextTable::fmt(cfg.variability.sigma_w / std::sqrt(double(cells)), 4)});
+    const double rmse = std::sqrt(sq / chips);
+    const double analytic = cfg.variability.sigma_w / std::sqrt(double(cells));
+    gtm_table.add_row({std::to_string(cells), TextTable::fmt(rmse, 4),
+                       TextTable::fmt(analytic, 4)});
+    if (rmse > 3.0 * analytic || rmse < analytic / 3.0) {
+      std::printf("  FAIL: GTM RMSE %.4f vs analytic %.4f (>3x apart)\n", rmse,
+                  analytic);
+      ++failures;
+    }
   }
   gtm_table.print();
 
-  // 3. DAC/ADC periphery cost on a quantized layer.
+  // 3. DAC/ADC periphery cost on a quantized layer: the error must
+  // shrink monotonically as resolution grows.
   std::printf("\nDAC/ADC periphery error (64x128 array, noise-free):\n");
   TextTable conv_table({"DAC bits", "ADC bits", "max |err| vs ideal"});
+  double prev_periph_err = 1e30;
   for (index_t bits : {index_t{4}, index_t{6}, index_t{8}}) {
     CrossbarConfig cfg;
     cfg.dac_bits = bits;
@@ -83,9 +111,140 @@ int main() {
     }
     conv_table.add_row({std::to_string(bits), std::to_string(bits + 2),
                         TextTable::fmt(max_err, 4)});
+    if (max_err > prev_periph_err + 1e-9) {
+      std::printf("  FAIL: periphery error grew with resolution\n");
+      ++failures;
+    }
+    prev_periph_err = max_err;
   }
   conv_table.print();
   std::printf("\nHigher periphery resolution monotonically shrinks the error,\n"
               "supporting the A-bit activation abstraction used in training.\n");
-  return 0;
+
+  // 4. Crossbar tiling: a 600x1100 layer does not fit one 512x512 array;
+  // TilePlan splits it across a 2x3 grid of arrays. On an ideal
+  // (noise-free) config the tiled readout must be BIT-identical to an
+  // unbounded array (the matmul_nt_acc_into partial-sum contract); with
+  // programming noise its relative output RMS error must match the
+  // weight-domain prediction, exactly like the single-array check above.
+  std::printf("\nCrossbar tiling (600x1100 layer across 512x512 arrays):\n");
+  {
+    Tensor wbig({600, 1100});
+    fill_normal(wbig, rng);
+    Tensor xb({16, 1100});
+    fill_normal(xb, rng);
+    const TilePlan plan = TilePlan::make(600, 1100, 512);
+    std::printf("  plan: %lld x %lld arrays (%lld total)\n",
+                static_cast<long long>(plan.row_tiles()),
+                static_cast<long long>(plan.col_tiles()),
+                static_cast<long long>(plan.n_tiles()));
+    if (plan.n_tiles() < 4) {
+      std::printf("  FAIL: expected >= 4 arrays\n");
+      ++failures;
+    }
+
+    CrossbarConfig ideal_cfg2;
+    Rng prng(31);
+    CrossbarArray untiled(ideal_cfg2, wbig, 0.0, prng);
+    Tensor y_ref, scratch;
+    untiled.mvm_into(xb, y_ref, scratch);
+    PimChip ideal_chip(ideal_cfg2, 31, 0);
+    TiledCrossbarLayer tiled_ideal(ideal_chip, wbig, plan);
+    Tensor y_tiled;
+    tiled_ideal.mvm_into(xb, y_tiled);
+    const bool bitwise =
+        y_ref.shape() == y_tiled.shape() &&
+        std::memcmp(y_ref.data(), y_tiled.data(),
+                    static_cast<std::size_t>(y_ref.size()) * sizeof(float)) == 0;
+    std::printf("  noise-free tiled vs untiled MVM: %s\n",
+                bitwise ? "bit-identical" : "MISMATCH");
+    if (!bitwise) ++failures;
+
+    TextTable tiled_table({"variance model", "rel. output RMS error (tiled)",
+                           "predicted"});
+    for (auto vm :
+         {VarianceModel::kWeightProportional, VarianceModel::kLayerFixed}) {
+      CrossbarConfig cfg;
+      cfg.variability = VariabilityConfig::within_only(vm, 0.3);
+      double err2 = 0.0, ref2 = 0.0;
+      const int chips = 12;
+      for (int c = 0; c < chips; ++c) {
+        PimChip chip(cfg, 37, c);
+        TiledCrossbarLayer tiled(chip, wbig, plan);
+        Tensor y;
+        tiled.mvm_into(xb, y);
+        for (index_t i = 0; i < y.size(); ++i) {
+          err2 += std::pow(static_cast<double>(y[i]) - y_ref[i], 2);
+          ref2 += std::pow(static_cast<double>(y_ref[i]), 2);
+        }
+      }
+      const double rel_rms = std::sqrt(err2 / ref2);
+      tiled_table.add_row({to_string(vm), TextTable::fmt(rel_rms, 4),
+                           vm == VarianceModel::kWeightProportional
+                               ? "~sigma*c"
+                               : "~sigma*wmax*c"});
+      // Same sigma-scale gate as the single-array check: a tiling-only
+      // noise regression (e.g. per-tile w_unit) must fail the bench.
+      if (vm == VarianceModel::kWeightProportional &&
+          (rel_rms < 0.3 * cfg.variability.sigma_w ||
+           rel_rms > 3.0 * cfg.variability.sigma_w)) {
+        std::printf("  FAIL: tiled rel RMS %.4f outside sigma scale\n",
+                    rel_rms);
+        ++failures;
+      }
+    }
+    tiled_table.print();
+  }
+
+  // 5. Monte-Carlo evaluation through the tiled circuit simulator vs the
+  // weight-domain injection, on a trained LeNet-5s. Both backends realize
+  // the same per-chip eps_B (shared Rng(seed, chip) identity); only the
+  // within-chip realizations differ, so the mean accuracies must agree
+  // within a few points — the bench's statistical equivalence tolerance.
+  std::printf("\nMonte-Carlo eval: tiled-circuit backend vs weight-domain:\n");
+  {
+    const ModelKind kind = ModelKind::kLeNet5s;
+    const ModelConfig mcfg = default_model_config(kind, 4, 2);
+    SplitDataset data = make_dataset_for(kind);
+    const VariabilityConfig vcfg =
+        VariabilityConfig::mixed(VarianceModel::kWeightProportional, 0.3);
+    TrainedModel tm = train_cached(
+        kind, mcfg, TrainAlgo::kQAVAT, data,
+        mixed_deploy_train_config(kind, vcfg.model, 0.3));
+    SelfTuneConfig st;
+    EvalConfig ecfg = default_eval_config(kind);
+    ecfg.n_chips = fast_mode() ? 8 : 16;
+    ecfg.backend = EvalBackend::kWeightDomain;
+    EvalStats wd_stats =
+        evaluate_under_variability(*tm.model, data.test, vcfg, ecfg, &st);
+    ecfg.backend = EvalBackend::kCircuit;
+    // LeNet-5s layers all fit one 512x512 array; shrink the tile so the
+    // equivalence run really exercises multi-tile accumulation, input
+    // slicing, row-partial scatter and cross-array GTM pooling.
+    ecfg.tile_size = 64;
+    EvalStats circ_stats =
+        evaluate_under_variability(*tm.model, data.test, vcfg, ecfg, &st);
+    TextTable eq_table({"backend", "mean acc %", "std %", "min %"});
+    eq_table.add_row({"weight-domain", pct(wd_stats.accuracy.mean),
+                      pct(wd_stats.accuracy.stddev), pct(wd_stats.accuracy.min)});
+    eq_table.add_row({"tiled circuit", pct(circ_stats.accuracy.mean),
+                      pct(circ_stats.accuracy.stddev),
+                      pct(circ_stats.accuracy.min)});
+    eq_table.print();
+    const double diff =
+        std::fabs(circ_stats.accuracy.mean - wd_stats.accuracy.mean);
+    const double tol = 0.08;  // same per-chip eps_B; only within-chip
+                              // realizations differ between backends
+    std::printf("  |mean diff| = %.3f (tolerance %.2f): %s\n", diff, tol,
+                diff <= tol ? "OK" : "FAIL");
+    if (diff > tol) ++failures;
+  }
+
+  if (failures == 0) {
+    std::printf("\nbench_pim_equivalence: all equivalence checks passed\n");
+  } else {
+    std::printf("\nbench_pim_equivalence: %d equivalence check(s) FAILED\n",
+                failures);
+  }
+  return failures == 0 ? 0 : 1;
 }

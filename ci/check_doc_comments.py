@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Doc-comment lint for the public qavat headers.
+
+Run by ci/build_and_test.sh as the docs gate (and usable standalone):
+
+    python3 ci/check_doc_comments.py pim/chip.h eval/evaluator.h ...
+
+Checks, per header:
+  1. style: no javadoc ``/** ... */`` blocks — the codebase standard is
+     ``///`` for declaration docs and ``//`` for narrative blocks;
+  2. attachment: every ``///`` run must document something — it must be
+     immediately followed by a declaration (or another comment), never by
+     a blank line or a closing brace;
+  3. coverage: every namespace-scope (column-0) ``class`` / ``struct`` /
+     ``enum`` definition and every column-0 function declaration must be
+     preceded by a comment run containing at least one ``///`` line — a
+     plain ``//`` narrative or section divider alone does not count as
+     documentation. Declarations directly following a documented
+     declaration share its doc block (grouped declarations).
+
+Exit status is nonzero if any check fails; failures print file:line.
+"""
+
+import re
+import sys
+
+DECL_RE = re.compile(r"^(template\s*<|class\s+\w|struct\s+\w|enum\s+(class\s+)?\w)")
+# A column-0 function declaration/definition: a type token then name(...).
+FUNC_RE = re.compile(r"^[A-Za-z_][\w:<>,\s&*]*\b[\w:~]+\s*\(")
+# Control-flow / non-declaration starters, matched on a word boundary so
+# names like format_x( or switch_backend( are not exempted.
+EXCLUDED_FUNC_RE = re.compile(
+    r"^(if|for|while|switch|return|using|namespace|static_assert|typedef)\b")
+
+
+def lint(path: str) -> int:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"{path}: cannot read: {e}")
+        return 1
+
+    errors = 0
+    # In a contiguous doc run (comment lines or a documented declaration
+    # group); `documented` tracks whether the run contains a /// line —
+    # plain // narrative alone is not declaration documentation.
+    prev_comment = False
+    documented = False
+    for idx, raw in enumerate(lines, start=1):
+        line = raw.rstrip()
+        stripped = line.strip()
+
+        if "/**" in stripped or stripped.startswith("/*!"):
+            print(f"{path}:{idx}: javadoc-style block comment; use /// or //")
+            errors += 1
+
+        # ///< lines are trailing member docs (possibly wrapped onto their
+        # own line); only leading /// runs must attach to a declaration.
+        if stripped.startswith("///") and not stripped.startswith("///<"):
+            nxt = lines[idx].strip() if idx < len(lines) else ""
+            if nxt == "" or nxt.startswith("}"):
+                print(f"{path}:{idx}: dangling /// comment "
+                      f"(not attached to a declaration)")
+                errors += 1
+
+        # Track documented runs for the coverage check. Only column-0
+        # declarations are public API here (members are indented).
+        is_comment = stripped.startswith("//")
+        at_col0 = bool(line) and not line[0].isspace()
+        if at_col0 and not is_comment:
+            if DECL_RE.match(line) or (FUNC_RE.match(line) and
+                                       not EXCLUDED_FUNC_RE.match(line)):
+                if not (prev_comment and documented):
+                    print(f"{path}:{idx}: undocumented public declaration "
+                          f"(needs a /// block): {stripped[:60]}")
+                    errors += 1
+                # A documented declaration extends the doc group to the
+                # declarations immediately following it.
+            elif not stripped.endswith((",", ")", "{")):
+                # Anything else at column 0 (namespace, braces, includes)
+                # breaks the doc group.
+                prev_comment = False
+                documented = False
+        if is_comment:
+            if not prev_comment:
+                documented = False  # a fresh comment run starts undocumented
+            prev_comment = True
+            if stripped.startswith("///"):
+                documented = True
+        elif stripped == "":
+            prev_comment = False
+            documented = False
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_doc_comments.py <header> [header...]")
+        return 2
+    total = 0
+    for path in argv[1:]:
+        total += lint(path)
+    if total:
+        print(f"doc lint: {total} issue(s)")
+        return 1
+    print(f"doc lint: OK ({len(argv) - 1} header(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -85,6 +85,16 @@ float QuantLayerBase::dequant_weight_max() const {
   return tmp.abs_max();
 }
 
+Tensor QuantLayerBase::programmed_weight() const {
+  Tensor w;
+  if (quant_enabled_ && w_scale_ > 0.0f) {
+    quantize_dequantize(weight_.value, w_scale_, w_bits_, w);
+  } else {
+    w = weight_.value;
+  }
+  return w;
+}
+
 void QuantLayerBase::compute_effective_weight() {
   const index_t nb = noise_batch();
   if (nb > 1) {
@@ -198,17 +208,34 @@ void QuantLayerBase::quantize_forward_input(const Tensor& x, index_t nb,
 
 void QuantLayerBase::analog_matmul_into(const Tensor& a2d, index_t nb,
                                         bool shared, Tensor& y) const {
-  if (nb <= 1) {
+  if (analog_backend_ != nullptr) {
+    // Circuit-level route: the backend owns the programmed weights (the
+    // pim/ crossbar tiles); noise lives in its conductances, not in
+    // weff_. Single-chip only — the per-chip programming cost of the
+    // batched axis would dwarf the GEMM win.
+    if (nb > 1) {
+      throw std::logic_error(
+          "analog_matmul_into: analog backend is single-chip (chip_batch 1)");
+    }
+    analog_backend_->mvm_into(a2d, y);
+  } else if (nb <= 1) {
     matmul_nt_into(a2d, weff_, y);
   } else if (shared) {
     matmul_nt_shared_into(a2d, weff_, nb, y);
   } else {
     matmul_nt_batched_into(a2d, weff_, nb, y);
   }
-  if (noise_.active && noise_.correction == CorrectionKind::kOffset) {
+  // The circuit backend carries its noise in the programmed conductances
+  // (active stays false) yet still wants the self-tuning correction, so
+  // the gate is active-OR-backend rather than active alone. A zero-noise
+  // self-tuned deployment (active false, no backend) skips the LTM
+  // reduction and the no-op correction pass entirely — its eps_hat and
+  // ltm_err are exactly 0.
+  const bool corrective = noise_.active || analog_backend_ != nullptr;
+  if (corrective && noise_.correction == CorrectionKind::kOffset) {
     std::vector<float> sums = ltm_row_sums(a2d);
     apply_correction(y, shared ? tile_row_sums(sums, nb) : sums);
-  } else {
+  } else if (corrective) {
     apply_correction(y, {});
   }
 }
@@ -228,7 +255,7 @@ void QuantLayerBase::quantize_input(const Tensor& x, Tensor& out) {
 
 void QuantLayerBase::apply_correction(Tensor& y2d,
                                       const std::vector<float>& row_sums) const {
-  if (!noise_.active || noise_.correction == CorrectionKind::kNone) return;
+  if (noise_.correction == CorrectionKind::kNone) return;
   const index_t rows = y2d.dim(0), cols = y2d.dim(1);
   const index_t nb = noise_.batch;
   const index_t rows_per = nb > 1 ? rows / nb : rows;  // rows per chip slot
@@ -290,7 +317,8 @@ Tensor QuantLinear::forward(const Tensor& x) {
   const index_t nb = noise_batch();
   const bool shared = batched_input_shared(x, nb, "QuantLinear::forward");
   quantize_forward_input(x, nb, shared, xq_);
-  compute_effective_weight();
+  // The circuit backend owns the programmed weights; weff_ is unused.
+  if (analog_backend_ == nullptr) compute_effective_weight();
   Tensor y;
   analog_matmul_into(xq_, nb, shared, y);
   float* py = y.data();
@@ -307,6 +335,10 @@ Tensor QuantLinear::backward(const Tensor& gy) {
   assert(gy.ndim() == 2 && gy.dim(1) == fan_out_);
   if (noise_batch() > 1) {
     throw std::logic_error("QuantLinear::backward: batched noise is eval-only");
+  }
+  if (analog_backend_ != nullptr) {
+    throw std::logic_error(
+        "QuantLinear::backward: analog backend is inference-only");
   }
   bias_.ensure_grad();
   const float* pg = gy.data();
@@ -387,7 +419,8 @@ Tensor QuantConv2d::forward(const Tensor& x) {
   } else {
     im2col(x, geom, cols_);  // identity quantizer: gather straight from x
   }
-  compute_effective_weight();
+  // The circuit backend owns the programmed weights; weff_ is unused.
+  if (analog_backend_ == nullptr) compute_effective_weight();
   // Chip-major image groups stay chip-major in the im2col row order, so
   // the grouped GEMM multiplies each chip's rows by its own weights (or
   // broadcasts the shared block when the chip inputs are identical).
@@ -421,6 +454,10 @@ Tensor QuantConv2d::backward(const Tensor& gy) {
   assert(gy.ndim() == 4 && gy.dim(1) == out_channels_);
   if (noise_batch() > 1) {
     throw std::logic_error("QuantConv2d::backward: batched noise is eval-only");
+  }
+  if (analog_backend_ != nullptr) {
+    throw std::logic_error(
+        "QuantConv2d::backward: analog backend is inference-only");
   }
   const index_t n = gy.dim(0), oh = gy.dim(2), ow = gy.dim(3);
   const index_t ohw = oh * ow, cout = out_channels_;

@@ -85,6 +85,21 @@ struct NoiseState {
 
 class QuantLayerBase;
 
+/// Abstract analog-MVM backend a quant layer's inference forward can be
+/// routed through instead of the weight-domain effective-weight GEMM —
+/// the seam the circuit-level evaluation path (pim/tiling.h) plugs into.
+/// `x2d` is the layer's quantized 2-D activations {rows, fan_in};
+/// implementations write {rows, fan_out} into `y` (resizing it without
+/// zero-fill) and must be deterministic and bit-identical for any
+/// QAVAT_THREADS. Inference-only: installing a backend makes backward()
+/// and noise-batched forwards throw. Not required to be thread-safe
+/// across concurrent calls; the evaluator drives it from one thread.
+class AnalogBackend {
+ public:
+  virtual ~AnalogBackend() = default;
+  virtual void mvm_into(const Tensor& x2d, Tensor& y) = 0;
+};
+
 /// Abstract layer: forward caches what backward needs; backward returns
 /// grad wrt input and accumulates parameter grads.
 class Layer {
@@ -154,6 +169,22 @@ class QuantLayerBase : public Layer {
 
   void set_workspace(Workspace* ws) override { ws_ = ws ? ws : &local_ws_; }
 
+  /// Route this layer's analog MVM through `backend` (nullptr restores
+  /// the weight-domain path). Inference-only and single-chip: while a
+  /// backend is installed, backward() and noise-batched (batch > 1)
+  /// forwards throw std::logic_error. The backend must outlive the
+  /// installation; the evaluator installs per simulated chip and
+  /// uninstalls before the chip is torn down.
+  void set_analog_backend(AnalogBackend* backend) { analog_backend_ = backend; }
+  AnalogBackend* analog_backend() const { return analog_backend_; }
+
+  /// Weights as they would be programmed on an analog array: the
+  /// quantize-dequantize grid under the current scale when quantization
+  /// is enabled and calibrated, the raw float weights otherwise.
+  /// {fan_out, fan_in}; returns a fresh tensor (call once per
+  /// deployment, not per forward).
+  Tensor programmed_weight() const;
+
  protected:
   /// Scratch-slot ids within the layer's workspace key space (the key is
   /// (this, slot), so layers never collide).
@@ -221,6 +252,8 @@ class QuantLayerBase : public Layer {
   // a private one so the zero-alloc reuse applies everywhere.
   Workspace local_ws_;
   Workspace* ws_ = &local_ws_;
+  // Non-owning circuit-level MVM route (nullptr = weight-domain GEMM).
+  AnalogBackend* analog_backend_ = nullptr;
 };
 
 /// Fully connected quantized layer: x {N, in} -> {N, out}.

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+
+#include "pim/tiling.h"
 
 namespace qavat {
 
@@ -136,14 +141,168 @@ void accuracy_batched(Module& model, const Dataset& test, const EvalConfig& ecfg
 
 constexpr index_t kDefaultChipBatch = 8;
 
+// Circuit-level Monte-Carlo path: chip c is a PimChip(seed, c) — the same
+// Rng identity as the weight-domain draw, so both backends realize the
+// same per-chip eps_B — whose programming noise lives in the tiled
+// crossbar conductances instead of NoiseState::eps. Each quant layer's
+// quantized weights program one TiledCrossbarLayer (<= tile x tile arrays
+// with per-array GTM spare columns when self-tuning) installed as the
+// layer's AnalogBackend; the forward then runs the normal pipeline with
+// every analog MVM routed through pim/. Sequential by construction:
+// programming per chip dominates, so the noise-batch axis would not pay.
+EvalStats evaluate_circuit(Module& model, const Dataset& test,
+                           const VariabilityConfig& vcfg,
+                           const EvalConfig& ecfg, const SelfTuneConfig* st) {
+  auto qlayers = model.quant_layers();
+  // Start from a pristine NoiseState: stale batched/self-tune fields left
+  // by a prior caller would otherwise drive apply_correction (the circuit
+  // route is corrective whenever a backend is installed).
+  clear_all_noise(model);
+  const index_t tile =
+      ecfg.tile_size > 0 ? ecfg.tile_size : tile_size_from_env();
+  CrossbarConfig ccfg;
+  ccfg.variability = vcfg;
+  // Periphery stays ideal: DAC/ADC precision is already modeled digitally
+  // by the activation/weight quantizers in the layer pipeline; modeling
+  // it twice would double-count the converter error.
+  const bool tune = st != nullptr && st->mode != SelfTuneMode::kNone;
+  if (tune) {
+    // GTM size is set by tile geometry here (one spare column of
+    // array-rows cells per array), so a SelfTuneConfig::gtm_cells sweep
+    // under this backend would silently evaluate the same estimator at
+    // every point — say so once rather than publish a flat "sweep".
+    // Only a non-default value signals a deliberate sweep; the default
+    // stays silent so normal tuned runs do not train users to ignore it.
+    static bool warned = false;
+    if (!warned && st->gtm_cells != SelfTuneConfig{}.gtm_cells) {
+      std::fprintf(stderr,
+                   "qavat: circuit backend derives GTM cells from tile "
+                   "geometry; SelfTuneConfig::gtm_cells (%lld) is ignored\n",
+                   static_cast<long long>(st->gtm_cells));
+      warned = true;
+    }
+  }
+
+  // The programmed (quantize-dequantized) weights are chip-independent,
+  // and so is each layer's wmax (the layer-fixed correction unit) — both
+  // computed once, outside the chip loop.
+  std::vector<Tensor> wd;
+  std::vector<float> wmax;
+  wd.reserve(qlayers.size());
+  wmax.reserve(qlayers.size());
+  for (QuantLayerBase* q : qlayers) {
+    wd.push_back(q->programmed_weight());
+    wmax.push_back(wd.back().abs_max());
+  }
+
+  // Whatever unwinds out of programming or a forward (bad_alloc on a big
+  // tile grid, a shape error mid-eval), the model must never keep a
+  // pointer to a destroyed backend or half-installed tuning state.
+  struct BackendGuard {
+    std::vector<QuantLayerBase*>& layers;
+    Module& model;
+    ~BackendGuard() {
+      for (QuantLayerBase* q : layers) q->set_analog_backend(nullptr);
+      clear_all_noise(model);
+    }
+  } guard{qlayers, model};
+
+  std::vector<double> accs;
+  accs.reserve(static_cast<std::size_t>(std::max<index_t>(0, ecfg.n_chips)));
+  std::vector<std::unique_ptr<TiledCrossbarLayer>> tiled;
+  for (index_t chip_idx = 0; chip_idx < ecfg.n_chips; ++chip_idx) {
+    PimChip chip(ccfg, ecfg.seed, chip_idx);
+    tiled.clear();
+    tiled.reserve(qlayers.size());
+    double gtm_sum = 0.0;
+    index_t gtm_cells = 0;
+    for (std::size_t i = 0; i < qlayers.size(); ++i) {
+      QuantLayerBase* q = qlayers[i];
+      auto t = std::make_unique<TiledCrossbarLayer>(
+          chip, wd[i], TilePlan::make(q->fan_out(), q->fan_in(), tile), tune,
+          &model.workspace());
+      if (tune) {
+        gtm_sum += t->measured_eps_b() *
+                   static_cast<double>(t->total_gtm_cells());
+        gtm_cells += t->total_gtm_cells();
+      }
+      q->set_analog_backend(t.get());
+      tiled.push_back(std::move(t));
+    }
+    if (tune) {
+      // Chip-level estimate: every array's GTM column measures the same
+      // correlated eps_B, so pooling all spare-column cells across all
+      // layers (cell-count-weighted mean, error ~ sigma_W /
+      // sqrt(gtm_cells)) feeds the existing correction machinery. LTM
+      // readout error keeps the analytic model (per layer, fixed per
+      // chip), drawn from a stream decorrelated from the programming
+      // draws.
+      const double eps_hat =
+          gtm_cells > 0 ? gtm_sum / static_cast<double>(gtm_cells) : 0.0;
+      Rng ltm_rng(ecfg.seed + 0x9E3779B97F4A7C15ull,
+                  static_cast<std::uint64_t>(chip_idx));
+      for (std::size_t i = 0; i < qlayers.size(); ++i) {
+        NoiseState& ns = qlayers[i]->noise_state();
+        ns.correction = correction_for(st->mode);
+        ns.eps_hat = static_cast<float>(eps_hat);
+        ns.wmax = wmax[i];
+        ns.ltm_err = static_cast<float>(
+            ltm_readout_error(vcfg.sigma_w, st->ltm_columns, ltm_rng));
+        ++ns.revision;
+      }
+    }
+    accs.push_back(
+        accuracy_on(model, test, ecfg.max_test_samples, ecfg.batch_size));
+    for (QuantLayerBase* q : qlayers) q->set_analog_backend(nullptr);
+  }
+  // (BackendGuard re-clears on scope exit; uninstalling per chip just
+  // keeps no dangling pointer alive across the next chip's programming.)
+  EvalStats stats;
+  stats.accuracy = Stats::from(accs);
+  stats.n_chips = ecfg.n_chips;
+  stats.per_chip_acc = std::move(accs);
+  return stats;
+}
+
 }  // namespace
+
+EvalBackend eval_backend_from_env() {
+  static const EvalBackend backend = [] {
+    const char* v = std::getenv("QAVAT_EVAL_BACKEND");
+    if (v == nullptr || v[0] == '\0' ||
+        std::strcmp(v, "weight_domain") == 0) {
+      return EvalBackend::kWeightDomain;
+    }
+    if (std::strcmp(v, "circuit") == 0) return EvalBackend::kCircuit;
+    // A typo must not silently publish weight-domain numbers as
+    // "circuit-level" ones.
+    std::fprintf(stderr,
+                 "qavat: unrecognized QAVAT_EVAL_BACKEND=\"%s\" "
+                 "(expected \"weight_domain\" or \"circuit\"); "
+                 "using weight_domain\n",
+                 v);
+    return EvalBackend::kWeightDomain;
+  }();
+  return backend;
+}
 
 EvalStats evaluate_under_variability(Module& model, const Dataset& test,
                                      const VariabilityConfig& vcfg,
                                      const EvalConfig& ecfg,
                                      const SelfTuneConfig* st) {
   model.set_training(false);
+  if (ecfg.backend == EvalBackend::kCircuit) {
+    return evaluate_circuit(model, test, vcfg, ecfg, st);
+  }
   auto qlayers = model.quant_layers();
+  // Clear the sampled noise state however this scope exits: a throw
+  // mid-eval (allocation failure, shape error) must not leave the model
+  // with a stale batched realization installed — same teardown guarantee
+  // the circuit branch gets from its BackendGuard.
+  struct NoiseGuard {
+    Module& model;
+    ~NoiseGuard() { clear_all_noise(model); }
+  } noise_guard{model};
   index_t chip_batch = ecfg.chip_batch > 0 ? ecfg.chip_batch : kDefaultChipBatch;
   chip_batch = std::max<index_t>(1, std::min(chip_batch, ecfg.n_chips));
   std::vector<double> accs;
@@ -187,7 +346,7 @@ EvalStats evaluate_under_variability(Module& model, const Dataset& test,
       accs.insert(accs.end(), group_accs.begin(), group_accs.end());
     }
   }
-  clear_all_noise(model);
+  // (NoiseGuard clears the sampled state on scope exit.)
   EvalStats stats;
   stats.accuracy = Stats::from(accs);
   stats.n_chips = ecfg.n_chips;

@@ -1,7 +1,9 @@
 // Deployment evaluation. The weight-domain abstraction injects
 // variability directly on each quant layer's effective weights (fast);
-// pim/chip.h validates that this matches circuit-level conductance
-// programming (bench_pim_equivalence).
+// the circuit backend programs the same weights onto tiled crossbar
+// arrays (pim/tiling.h) and routes every analog MVM through the
+// simulator (faithful). bench_pim_equivalence validates that the two
+// agree statistically.
 //
 //  * evaluate_clean — noise-free test accuracy.
 //  * evaluate_under_variability — Monte-Carlo over simulated chips: one
@@ -15,9 +17,14 @@
 //    see NoiseState). Determinism contract: chip c's realization is drawn
 //    from Rng(seed, c) — explicit in the chip index, never in evaluation
 //    order — so every chip_batch (including 1, the sequential path)
-//    produces bit-identical per-chip accuracies.
+//    produces bit-identical per-chip accuracies. The circuit backend
+//    shares the same Rng(seed, c) chip identity, so both backends see
+//    the same per-chip eps_B realizations.
 //  * evaluate_under_drift — eps_B(t) follows an OU process; the GTM is
 //    re-measured every `remeasure_interval` steps (0 = factory-time only).
+//
+// Thread-safety: evaluation drives one model from one thread; kernels
+// parallelize internally (QAVAT_THREADS) with bit-identical results.
 #pragma once
 
 #include "core/models/models.h"
@@ -28,50 +35,85 @@
 
 namespace qavat {
 
+/// Accuracy summary over a population (all values in [0, 1]).
 struct Stats {
   double mean = 0.0;
   double stddev = 0.0;
   double min = 0.0;
   double max = 0.0;
 
+  /// Population stats of `xs` (stddev is the population form, /N).
   static Stats from(const std::vector<double>& xs);
 };
 
+/// Result of a Monte-Carlo deployment evaluation.
 struct EvalStats {
-  Stats accuracy;
-  index_t n_chips = 0;
-  std::vector<double> per_chip_acc;  // accuracy of each simulated chip, in
-                                     // chip-index order
+  Stats accuracy;      ///< accuracy distribution across simulated chips
+  index_t n_chips = 0; ///< number of chips simulated
+  std::vector<double> per_chip_acc;  ///< accuracy of each simulated chip,
+                                     ///< in chip-index order
 };
 
+/// How the Monte-Carlo evaluator realizes a simulated chip.
+enum class EvalBackend {
+  /// Inject variability directly on each layer's effective weights and
+  /// run the normal GEMM forward (fast; supports chip batching).
+  kWeightDomain,
+  /// Program each layer's quantized weights across tiled <= 512x512
+  /// crossbar arrays (QAVAT_TILE_SIZE) on a simulated PimChip and route
+  /// every analog MVM through the circuit simulator; the self-tuning
+  /// eps_hat comes from real per-array GTM spare columns. Sequential
+  /// (chip_batch is ignored) and O(arrays) programming per chip — meant
+  /// for small models and validation runs (DESIGN.md §10).
+  kCircuit,
+};
+
+/// QAVAT_EVAL_BACKEND as an EvalBackend: "circuit" selects kCircuit,
+/// anything else (or unset) kWeightDomain. Resolved once and cached;
+/// applied by default_eval_config(), not by evaluate_under_variability.
+EvalBackend eval_backend_from_env();
+
+/// Monte-Carlo evaluation protocol. All counts are per evaluation call.
 struct EvalConfig {
-  index_t n_chips = 25;
-  index_t max_test_samples = 1 << 30;  // cap on evaluated test samples
-  index_t batch_size = 64;
-  std::uint64_t seed = 1000;  // chip Monte-Carlo seed
-  index_t chip_batch = 0;     // chips per noise-batched forward; 0 = default
-                              // (8), 1 = sequential single-chip evaluation.
-                              // Any value yields identical per-chip results.
+  index_t n_chips = 25;                ///< simulated chips
+  index_t max_test_samples = 1 << 30;  ///< cap on evaluated test samples
+  index_t batch_size = 64;             ///< test rows per forward
+  std::uint64_t seed = 1000;           ///< chip Monte-Carlo seed
+  index_t chip_batch = 0;  ///< chips per noise-batched forward; 0 = default
+                           ///< (8), 1 = sequential single-chip evaluation.
+                           ///< Any value yields identical per-chip results.
+                           ///< Ignored by the circuit backend (sequential).
+  EvalBackend backend = EvalBackend::kWeightDomain;  ///< chip realization
+  index_t tile_size = 0;   ///< circuit backend: max crossbar side length;
+                           ///< 0 = QAVAT_TILE_SIZE (default 512)
 };
 
+/// Monte-Carlo deployment accuracy of `model` under `vcfg` variability,
+/// optionally with inference-time self-tuning `st`. See the protocol
+/// notes at the top of this header.
 EvalStats evaluate_under_variability(Module& model, const Dataset& test,
                                      const VariabilityConfig& vcfg,
                                      const EvalConfig& ecfg,
                                      const SelfTuneConfig* st = nullptr);
 
+/// Temporal-drift evaluation protocol (footnote-2 extension).
 struct DriftEvalConfig {
-  index_t n_steps = 192;
-  index_t batch_size = 50;
-  index_t remeasure_interval = 0;  // 0 = factory calibration only
-  index_t gtm_cells = 1000;
-  std::uint64_t seed = 2000;
+  index_t n_steps = 192;           ///< OU time steps evaluated
+  index_t batch_size = 50;         ///< test rows per step
+  index_t remeasure_interval = 0;  ///< steps between GTM re-measurements;
+                                   ///< 0 = factory calibration only
+  index_t gtm_cells = 1000;        ///< GTM cells per measurement
+  std::uint64_t seed = 2000;       ///< drift Monte-Carlo seed
 };
 
+/// Result of a drift evaluation.
 struct DriftStats {
-  double mean_acc = 0.0;
-  double mean_abs_error = 0.0;  // mean |eps_hat - eps_B(t)| staleness
+  double mean_acc = 0.0;        ///< accuracy averaged over all steps
+  double mean_abs_error = 0.0;  ///< mean |eps_hat - eps_B(t)| staleness
 };
 
+/// Accuracy under a drifting eps_B(t) (OU process, DriftConfig) with
+/// periodic GTM re-measurement.
 DriftStats evaluate_under_drift(Module& model, const Dataset& test,
                                 const DriftConfig& dcfg,
                                 const DriftEvalConfig& ecfg);

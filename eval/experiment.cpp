@@ -223,6 +223,10 @@ EvalConfig default_eval_config(ModelKind kind) {
     return index_t{8};
   }();
   cfg.chip_batch = chip_batch;
+  // QAVAT_EVAL_BACKEND=circuit routes every bench evaluation through the
+  // tiled crossbar simulator (sequential; see eval/evaluator.h). The
+  // tile size stays 0 here so the evaluator resolves QAVAT_TILE_SIZE.
+  cfg.backend = eval_backend_from_env();
   (void)kind;
   return cfg;
 }

@@ -3,41 +3,57 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <stdexcept>
 
 namespace qavat {
 
 namespace {
 
-/// Symmetric mid-tread quantization with dynamic full scale (the
-/// converters range over the signal's max magnitude). bits <= 0 = ideal.
+/// Symmetric mid-tread quantization over [0, n) of `x` with dynamic full
+/// scale (the converters range over the signal's max magnitude).
+/// bits <= 0 = ideal (no-op).
 template <typename T>
-void quantize_signal(std::vector<T>& x, index_t bits) {
+void quantize_signal(T* x, index_t n, index_t bits) {
   if (bits <= 0) return;
   double fs = 0.0;
-  for (T v : x) fs = std::max(fs, std::fabs(static_cast<double>(v)));
+  for (index_t i = 0; i < n; ++i) {
+    fs = std::max(fs, std::fabs(static_cast<double>(x[i])));
+  }
   if (fs <= 0.0) return;
   const double levels = static_cast<double>(
       std::max<index_t>(1, (index_t{1} << (bits - 1)) - 1));
   const double step = fs / levels;
-  for (T& v : x) {
-    v = static_cast<T>(step * std::nearbyint(static_cast<double>(v) / step));
+  for (index_t i = 0; i < n; ++i) {
+    x[i] = static_cast<T>(step *
+                          std::nearbyint(static_cast<double>(x[i]) / step));
   }
 }
 
 }  // namespace
 
+void quantize_rows(Tensor& t, index_t bits) {
+  if (bits <= 0 || t.size() <= 0) return;
+  const index_t n = t.dim(0), w = t.size() / t.dim(0);
+  for (index_t r = 0; r < n; ++r) quantize_signal(t.data() + r * w, w, bits);
+}
+
 CrossbarArray::CrossbarArray(const CrossbarConfig& cfg, const Tensor& w,
-                             double eps_b, Rng& rng)
-    : cfg_(cfg), rows_(w.dim(0)), cols_(w.dim(1)), w_ideal_(w) {
+                             double eps_b, Rng& rng, double w_unit,
+                             bool keep_ideal)
+    : cfg_(cfg), rows_(w.dim(0)), cols_(w.dim(1)) {
   assert(w.ndim() == 2);
-  const float wmax = w.abs_max();
-  w_unit_ = wmax > 0.0f ? static_cast<double>(wmax) : 1.0;
-  g_pos_.resize(w.shape());
-  g_neg_.resize(w.shape());
+  if (keep_ideal) w_ideal_ = w;
+  if (w_unit > 0.0) {
+    w_unit_ = w_unit;
+  } else {
+    const float wmax = w.abs_max();
+    w_unit_ = wmax > 0.0f ? static_cast<double>(wmax) : 1.0;
+  }
+  g_.resize(w.shape());
   const VariabilityConfig& var = cfg_.variability;
   const float* pw = w.data();
-  float* gp = g_pos_.data();
-  float* gn = g_neg_.data();
+  float* pg = g_.data();
   for (index_t i = 0; i < w.size(); ++i) {
     // Per-pair programming deviation: within-chip draw + chip-level eps_B.
     float w_eff = pw[i];
@@ -51,46 +67,89 @@ CrossbarArray::CrossbarArray(const CrossbarConfig& cfg, const Tensor& w,
         w_eff += (eps + static_cast<float>(eps_b)) * static_cast<float>(w_unit_);
       }
     }
-    const double g = static_cast<double>(w_eff) / w_unit_ * cfg_.g_max;
-    gp[i] = g > 0.0 ? static_cast<float>(g) : 0.0f;
-    gn[i] = g < 0.0 ? static_cast<float>(-g) : 0.0f;
+    // Signed differential conductance: positive weights program G+, negative
+    // G-; the stored difference is exact since the other pole is zero.
+    pg[i] = static_cast<float>(static_cast<double>(w_eff) / w_unit_ * cfg_.g_max);
   }
+}
+
+void CrossbarArray::accumulate_currents(const Tensor& xq, Tensor& y,
+                                        bool accumulate) const {
+  if (accumulate) {
+    matmul_nt_acc_into(xq, g_, y);
+  } else {
+    matmul_nt_into(xq, g_, y);
+  }
+}
+
+void CrossbarArray::mvm_into(const Tensor& x, Tensor& y,
+                             Tensor& dac_scratch) const {
+  assert(x.ndim() == 2 && x.dim(1) == cols_);
+  const Tensor* xr = &x;
+  if (cfg_.dac_bits > 0) {
+    dac_scratch.resize_for_overwrite(x.shape());
+    std::memcpy(dac_scratch.data(), x.data(),
+                static_cast<std::size_t>(x.size()) * sizeof(float));
+    quantize_rows(dac_scratch, cfg_.dac_bits);
+    xr = &dac_scratch;
+  }
+  accumulate_currents(*xr, y, /*accumulate=*/false);
+  // Currents (conductance units) back to weight units. Applied after the
+  // whole accumulation so tiled readouts can share the same epilogue.
+  scale(y, static_cast<float>(w_unit_ / cfg_.g_max));
+  quantize_rows(y, cfg_.adc_bits);
+}
+
+void CrossbarArray::mvm_into(const float* x, double* y) const {
+  // Reference readout: one double accumulation chain per output row, in
+  // ascending column order. thread_local DAC scratch keeps repeated calls
+  // allocation-free (the eval hot loop this overload exists for).
+  thread_local std::vector<float> v;
+  const float* xr = x;
+  if (cfg_.dac_bits > 0) {
+    v.assign(x, x + cols_);
+    quantize_signal(v.data(), cols_, cfg_.dac_bits);
+    xr = v.data();
+  }
+  const float* pg = g_.data();
+  for (index_t r = 0; r < rows_; ++r) {
+    const float* row = pg + r * cols_;
+    double acc = 0.0;
+    for (index_t c = 0; c < cols_; ++c) {
+      acc += static_cast<double>(row[c]) * xr[c];
+    }
+    y[r] = acc / cfg_.g_max * w_unit_;
+  }
+  quantize_signal(y, rows_, cfg_.adc_bits);
 }
 
 std::vector<double> CrossbarArray::mvm(const std::vector<float>& x) const {
   assert(static_cast<index_t>(x.size()) == cols_);
-  std::vector<float> v = x;
-  quantize_signal(v, cfg_.dac_bits);  // wordline DACs
   std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
-  const float* gp = g_pos_.data();
-  const float* gn = g_neg_.data();
-  for (index_t r = 0; r < rows_; ++r) {
-    // Differential bitline currents: I+ - I- in conductance units.
-    double ip = 0.0, in = 0.0;
-    const float* rp = gp + r * cols_;
-    const float* rn = gn + r * cols_;
-    for (index_t c = 0; c < cols_; ++c) {
-      ip += static_cast<double>(rp[c]) * v[static_cast<std::size_t>(c)];
-      in += static_cast<double>(rn[c]) * v[static_cast<std::size_t>(c)];
-    }
-    y[static_cast<std::size_t>(r)] = (ip - in) / cfg_.g_max * w_unit_;
-  }
-  quantize_signal(y, cfg_.adc_bits);  // bitline ADCs
+  mvm_into(x.data(), y.data());
   return y;
 }
 
-std::vector<double> CrossbarArray::ideal_mvm(const std::vector<float>& x) const {
-  assert(static_cast<index_t>(x.size()) == cols_);
-  std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+void CrossbarArray::ideal_mvm_into(const float* x, double* y) const {
+  if (w_ideal_.size() != rows_ * cols_) {
+    throw std::logic_error(
+        "CrossbarArray::ideal_mvm: programmed without keep_ideal");
+  }
   const float* pw = w_ideal_.data();
   for (index_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     const float* row = pw + r * cols_;
     for (index_t c = 0; c < cols_; ++c) {
-      acc += static_cast<double>(row[c]) * x[static_cast<std::size_t>(c)];
+      acc += static_cast<double>(row[c]) * x[c];
     }
-    y[static_cast<std::size_t>(r)] = acc;
+    y[r] = acc;
   }
+}
+
+std::vector<double> CrossbarArray::ideal_mvm(const std::vector<float>& x) const {
+  assert(static_cast<index_t>(x.size()) == cols_);
+  std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+  ideal_mvm_into(x.data(), y.data());
   return y;
 }
 
@@ -101,8 +160,9 @@ PimChip::PimChip(const CrossbarConfig& cfg, std::uint64_t seed, index_t chip_idx
                : 0.0;
 }
 
-CrossbarArray PimChip::program_array(const Tensor& w) {
-  return CrossbarArray(cfg_, w, eps_b_, rng_);
+CrossbarArray PimChip::program_array(const Tensor& w, double w_unit,
+                                     bool keep_ideal) {
+  return CrossbarArray(cfg_, w, eps_b_, rng_, w_unit, keep_ideal);
 }
 
 GtmColumn PimChip::program_gtm(index_t cells, double cell_weight) {

@@ -4,8 +4,15 @@
 // variability perturbs each synaptic pair per the configured variance
 // model (within-chip iid + the chip's correlated eps_B); the MVM applies
 // DAC-quantized wordline voltages and ADC-quantized bitline currents.
+// Large layers tile across multiple arrays via pim/tiling.h;
 // bench_pim_equivalence validates statistical equivalence with the
 // weight-domain injection.
+//
+// Thread-safety: programming (PimChip, the CrossbarArray constructor)
+// consumes the chip's RNG stream and must run from one thread. All
+// readout entry points (mvm / mvm_into / ideal_mvm / accumulate_currents)
+// are const, internally threaded through the tensor/ GEMM kernels, and
+// bit-identical for any QAVAT_THREADS.
 #pragma once
 
 #include <vector>
@@ -15,59 +22,127 @@
 
 namespace qavat {
 
+/// Physical description of one crossbar array and its periphery. Units:
+/// conductances are in arbitrary units with `g_max` the full-scale device
+/// conductance; weights map linearly onto [-g_max, g_max] of differential
+/// conductance via the array's `w_unit` (max |w| it was programmed for).
 struct CrossbarConfig {
-  VariabilityConfig variability;  // programming-noise model
-  index_t dac_bits = 0;           // wordline DAC resolution (0 = ideal)
-  index_t adc_bits = 0;           // bitline ADC resolution (0 = ideal)
-  double g_max = 1.0;             // max device conductance (arbitrary units)
+  VariabilityConfig variability;  ///< programming-noise model (sigma_w/sigma_b)
+  index_t dac_bits = 0;           ///< wordline DAC resolution in bits (0 = ideal)
+  index_t adc_bits = 0;           ///< bitline ADC resolution in bits (0 = ideal)
+  double g_max = 1.0;             ///< max device conductance (arbitrary units)
 };
 
-/// One programmed crossbar array holding a {rows=fan_out, cols=fan_in}
-/// weight matrix as differential conductance pairs.
+/// One programmed crossbar array holding a {rows = fan_out, cols = fan_in}
+/// weight matrix as differential conductance pairs. The pair is stored as
+/// its signed difference G+ - G- (one plane): programming noise acts on
+/// the synaptic pair as a whole and the readout is differential, so the
+/// split into (G+, G-) carries no extra information — by construction one
+/// of the two is always zero.
 class CrossbarArray {
  public:
-  /// Program `w` {out, in} with the given correlated deviation eps_b and
-  /// per-pair programming noise drawn from `rng`.
+  /// Program `w` {out, in} with the chip-level correlated deviation
+  /// `eps_b` and per-pair programming noise drawn from `rng`. `w_unit`
+  /// is the weight represented by full-scale conductance; pass 0 to
+  /// derive it from `w` (max |w|, the single-array default). Tiled
+  /// layers pass the whole layer's max |w| so every tile shares one
+  /// conductance mapping (pim/tiling.h). `keep_ideal` false drops the
+  /// ideal-weight copy (halving programming memory/traffic on the
+  /// circuit-eval hot path); ideal_mvm then throws.
   CrossbarArray(const CrossbarConfig& cfg, const Tensor& w, double eps_b,
-                Rng& rng);
+                Rng& rng, double w_unit = 0.0, bool keep_ideal = true);
 
-  /// Analog MVM: DAC(x) -> bitline current difference -> ADC. Returns one
-  /// value per output row.
+  /// Batched analog MVM over a whole activation matrix: `x` {n, cols()}
+  /// -> `y` {n, rows()} (resized without zero-fill). Wordline DACs
+  /// quantize each input row over its own dynamic full scale (into the
+  /// caller-provided `dac_scratch`, untouched when dac_bits == 0), the
+  /// differential readout runs through the shared NT GEMM kernel, and
+  /// bitline ADCs quantize each output row. Allocation-free at steady
+  /// shape when `y`/`dac_scratch` are workspace buffers.
+  void mvm_into(const Tensor& x, Tensor& y, Tensor& dac_scratch) const;
+
+  /// Span form of the analog MVM for one input vector: reads cols()
+  /// floats from `x`, writes rows() doubles to `y`. Reference readout in
+  /// double precision (a single ascending-column accumulation chain per
+  /// output); allocation-free at steady state (thread_local DAC scratch).
+  void mvm_into(const float* x, double* y) const;
+
+  /// Analog MVM of one input vector: DAC(x) -> bitline current
+  /// difference -> ADC. Returns one value per output row. Thin wrapper
+  /// over the span-form mvm_into (allocates the result vector).
   std::vector<double> mvm(const std::vector<float>& x) const;
-  /// Noise-free, infinite-precision reference on the ideal weights.
+
+  /// Noise-free, infinite-precision reference on the ideal weights:
+  /// reads cols() floats from `x`, writes rows() doubles to `y`. Throws
+  /// std::logic_error if the array was programmed without keep_ideal.
+  void ideal_mvm_into(const float* x, double* y) const;
+
+  /// Thin wrapper over ideal_mvm_into (allocates the result vector).
   std::vector<double> ideal_mvm(const std::vector<float>& x) const;
 
-  index_t rows() const { return rows_; }
-  index_t cols() const { return cols_; }
+  /// Accumulate the raw differential bitline currents of `xq` {n, cols()}
+  /// into `y` {n, rows()}, in conductance units (no w_unit scaling, no
+  /// periphery). With `accumulate` the per-element chain CONTINUES from
+  /// y's current values (matmul_nt_acc_into), so summing column-tile
+  /// partials in ascending tile order is bit-identical to one full-width
+  /// readout — the tiling determinism contract (DESIGN.md §10). With
+  /// `accumulate` false, `y` is resized and overwritten.
+  void accumulate_currents(const Tensor& xq, Tensor& y, bool accumulate) const;
+
+  index_t rows() const { return rows_; }  ///< fan_out (bitlines)
+  index_t cols() const { return cols_; }  ///< fan_in (wordlines)
+  /// Weight represented by full-scale conductance (the conductance
+  /// mapping this array was programmed with).
+  double w_unit() const { return w_unit_; }
 
  private:
   CrossbarConfig cfg_;
   index_t rows_, cols_;
-  Tensor w_ideal_;   // the weights as requested
-  Tensor g_pos_, g_neg_;  // programmed (noisy) conductance planes
+  Tensor w_ideal_;   // the weights as requested (empty if !keep_ideal)
+  Tensor g_;         // programmed (noisy) signed conductance plane G+ - G-
   double w_unit_;    // weight represented by g_max conductance
 };
 
+/// Converter model shared by the single-array and tiled readout paths:
+/// symmetric mid-tread quantization of each row of `t` {n, w} over that
+/// row's own dynamic full scale (max |x| of the row). `bits` <= 0 is the
+/// ideal periphery (no-op). Deterministic and serial per row.
+void quantize_rows(Tensor& t, index_t bits);
+
 /// A spare column of `cells` devices all programmed to `cell_weight`,
-/// used to estimate the chip's eps_B by reading them back.
+/// used to estimate the chip's eps_B by reading them back. Tiled layers
+/// program one per array (cells = the array's row count).
 struct GtmColumn {
-  std::vector<float> cells;
-  double cell_weight = 1.0;
+  std::vector<float> cells;   ///< read-back device values (weight units)
+  double cell_weight = 1.0;   ///< the value every cell was programmed to
 };
 
 /// A simulated chip: owns the per-chip correlated deviation eps_B and the
 /// programming-noise stream used for every array programmed onto it.
+/// Programming order is part of the realization (each program_* call
+/// advances the RNG stream); keep it fixed for reproducibility.
 class PimChip {
  public:
+  /// Chip `chip_idx` of a Monte-Carlo population: eps_B and all
+  /// programming noise derive from Rng(seed, chip_idx), so chip identity
+  /// is explicit in the index (the evaluator's determinism contract).
   PimChip(const CrossbarConfig& cfg, std::uint64_t seed, index_t chip_idx);
 
-  CrossbarArray program_array(const Tensor& w);
+  /// Program one array from `w` {out, in}; `w_unit` / `keep_ideal` as in
+  /// the CrossbarArray constructor.
+  CrossbarArray program_array(const Tensor& w, double w_unit = 0.0,
+                              bool keep_ideal = true);
+  /// Program a GTM spare column of `cells` devices at `cell_weight`.
   GtmColumn program_gtm(index_t cells, double cell_weight);
 
   /// Ground-truth correlated deviation of this chip.
   double eps_b() const { return eps_b_; }
-  /// Estimate eps_B from a GTM readout (mean cell deviation).
+  /// Estimate eps_B from a GTM readout (mean relative cell deviation);
+  /// error ~ sigma_W / sqrt(cells).
   double measure_eps_b(const GtmColumn& gtm) const;
+
+  /// The periphery/variability description every array is programmed with.
+  const CrossbarConfig& config() const { return cfg_; }
 
  private:
   CrossbarConfig cfg_;

@@ -40,20 +40,22 @@
 
 namespace qavat {
 
-/// Geometry of one conv application. `n` is the number of images actually
-/// gathered — pass n = x.dim(0) / nb to read only the first chip block of
-/// a noise-batched input that is known to be nb identical blocks.
+/// Geometry of one conv application over NCHW images. `n` is the number
+/// of images actually gathered — pass n = x.dim(0) / nb to read only the
+/// first chip block of a noise-batched input that is known to be nb
+/// identical blocks. All fields are element counts (pixels/taps).
 struct ConvGeom {
-  index_t n, c, h, w;       // input images (leading prefix of x)
-  index_t k, stride, pad;   // square kernel
-  index_t oh, ow;           // output spatial dims
+  index_t n, c, h, w;       ///< input images (leading prefix of x, NCHW)
+  index_t k, stride, pad;   ///< square kernel side, stride, zero padding
+  index_t oh, ow;           ///< output spatial dims
 
-  index_t ckk() const { return c * k * k; }
-  index_t rows() const { return n * oh * ow; }  // im2col rows
+  index_t ckk() const { return c * k * k; }     ///< im2col row width
+  index_t rows() const { return n * oh * ow; }  ///< im2col rows
 };
 
 /// x (NCHW, first g.n images) -> cols {g.n*g.oh*g.ow, g.ckk()}; row index
-/// = (n*OH + oh)*OW + ow, zero padding. Threaded over output rows.
+/// = (n*OH + oh)*OW + ow, zero padding. Threaded over output rows
+/// (QAVAT_THREADS), bit-identical for any thread count.
 void im2col(const Tensor& x, const ConvGeom& g, Tensor& cols);
 
 /// im2col with the unsigned activation quantizer fused into the gather:
@@ -65,7 +67,7 @@ void im2col_quant(const Tensor& x, const ConvGeom& g, float scale,
 /// Transpose of im2col: scatter-add the cols-layout gradient back to the
 /// input image layout (gather form, see the contract above). Writes every
 /// element of gx (resized to {g.n, g.c, g.h, g.w}); threaded over input
-/// rows.
+/// rows, bit-identical for any thread count.
 void col2im(const Tensor& cols, const ConvGeom& g, Tensor& gx);
 
 /// Non-overlapping k x k max pooling over NCHW (floor semantics: trailing

@@ -66,13 +66,33 @@ constexpr index_t kSerialMacs = index_t{1} << 21;       // below: never fork
 // `LoadA` maps (p, r) to the A element for C row i+r — the only
 // difference between the NN (row-major A) and TN (transposed A) kernels;
 // the NT kernel feeds a transposed-packed B panel instead.
-template <index_t JR, typename LoadA>
+//
+// When `Acc` is set the accumulators initialize from C instead of 0.0f,
+// so the per-element chain CONTINUES from C's value: splitting the
+// contraction dimension into segments and chaining Acc calls is
+// bit-identical to one full-width pass. That exact-reassociation
+// property is what makes the crossbar column-tiling (pim/tiling.h)
+// bit-identical to an untiled readout.
+template <index_t JR, bool Acc, typename LoadA>
 inline void mul_tile4(const LoadA& load_a, const float* pb, index_t bstride,
                       index_t bj0, float* pc, index_t i, index_t j0, index_t jr,
                       index_t k, index_t n) {
   float acc0[JR], acc1[JR], acc2[JR], acc3[JR];
-  for (index_t jj = 0; jj < jr; ++jj) {
-    acc0[jj] = acc1[jj] = acc2[jj] = acc3[jj] = 0.0f;
+  if (Acc) {
+    const float* c0 = pc + (i + 0) * n + j0;
+    const float* c1 = pc + (i + 1) * n + j0;
+    const float* c2 = pc + (i + 2) * n + j0;
+    const float* c3 = pc + (i + 3) * n + j0;
+    for (index_t jj = 0; jj < jr; ++jj) {
+      acc0[jj] = c0[jj];
+      acc1[jj] = c1[jj];
+      acc2[jj] = c2[jj];
+      acc3[jj] = c3[jj];
+    }
+  } else {
+    for (index_t jj = 0; jj < jr; ++jj) {
+      acc0[jj] = acc1[jj] = acc2[jj] = acc3[jj] = 0.0f;
+    }
   }
   for (index_t p = 0; p < k; ++p) {
     const float* brow = pb + p * bstride + bj0;
@@ -99,12 +119,17 @@ inline void mul_tile4(const LoadA& load_a, const float* pb, index_t bstride,
 }
 
 // Single-row remainder of the tile kernel, same accumulation order.
-template <index_t JR, typename LoadA>
+template <index_t JR, bool Acc, typename LoadA>
 inline void mul_tile1(const LoadA& load_a, const float* pb, index_t bstride,
                       index_t bj0, float* pc, index_t i, index_t j0, index_t jr,
                       index_t k, index_t n) {
   float acc[JR];
-  for (index_t jj = 0; jj < jr; ++jj) acc[jj] = 0.0f;
+  if (Acc) {
+    const float* crow = pc + i * n + j0;
+    for (index_t jj = 0; jj < jr; ++jj) acc[jj] = crow[jj];
+  } else {
+    for (index_t jj = 0; jj < jr; ++jj) acc[jj] = 0.0f;
+  }
   for (index_t p = 0; p < k; ++p) {
     const float* brow = pb + p * bstride + bj0;
     const float av = load_a(p, 0);
@@ -122,28 +147,28 @@ inline void mul_tile1(const LoadA& load_a, const float* pb, index_t bstride,
 // layers (cout 16), where a 32-wide tile would waste half its lanes.
 // JR only sizes the accumulator array; the per-element accumulation
 // order (ascending p) is identical across instantiations.
-template <typename LoadA>
+template <bool Acc = false, typename LoadA>
 void mul_band(const LoadA& load_a, const float* pb, index_t bstride,
               index_t bj0, float* pc, index_t i, index_t rows, index_t j0,
               index_t jr, index_t k, index_t n) {
   if (rows == kRowBlock) {
     if (jr == kJTile) {
-      mul_tile4<kJTile>(load_a, pb, bstride, bj0, pc, i, j0, kJTile, k, n);
+      mul_tile4<kJTile, Acc>(load_a, pb, bstride, bj0, pc, i, j0, kJTile, k, n);
     } else if (jr == kJTile / 2) {
-      mul_tile4<kJTile / 2>(load_a, pb, bstride, bj0, pc, i, j0, jr, k, n);
+      mul_tile4<kJTile / 2, Acc>(load_a, pb, bstride, bj0, pc, i, j0, jr, k, n);
     } else {
-      mul_tile4<kJTile>(load_a, pb, bstride, bj0, pc, i, j0, jr, k, n);
+      mul_tile4<kJTile, Acc>(load_a, pb, bstride, bj0, pc, i, j0, jr, k, n);
     }
   } else {
     for (index_t r = 0; r < rows; ++r) {
       const index_t ir = i + r;
       auto load_r = [&](index_t p, index_t) { return load_a(p, r); };
       if (jr == kJTile) {
-        mul_tile1<kJTile>(load_r, pb, bstride, bj0, pc, ir, j0, kJTile, k, n);
+        mul_tile1<kJTile, Acc>(load_r, pb, bstride, bj0, pc, ir, j0, kJTile, k, n);
       } else if (jr == kJTile / 2) {
-        mul_tile1<kJTile / 2>(load_r, pb, bstride, bj0, pc, ir, j0, jr, k, n);
+        mul_tile1<kJTile / 2, Acc>(load_r, pb, bstride, bj0, pc, ir, j0, jr, k, n);
       } else {
-        mul_tile1<kJTile>(load_r, pb, bstride, bj0, pc, ir, j0, jr, k, n);
+        mul_tile1<kJTile, Acc>(load_r, pb, bstride, bj0, pc, ir, j0, jr, k, n);
       }
     }
   }
@@ -184,7 +209,9 @@ void pack_nt_panel(const float* pb, index_t k, index_t j0, index_t jr,
   }
 }
 
-// C rows [i0,i1) = A rows * B_packed^T over one packed panel.
+// C rows [i0,i1) = A rows * B_packed^T over one packed panel; with Acc
+// the per-element chain continues from C's current values.
+template <bool Acc = false>
 void gemm_nt_panel_rows(const float* pa, const float* pk, float* pc,
                         index_t i0, index_t i1, index_t j0, index_t jr,
                         index_t k, index_t n) {
@@ -192,18 +219,19 @@ void gemm_nt_panel_rows(const float* pa, const float* pk, float* pc,
   for (; i + kRowBlock <= i1; i += kRowBlock) {
     const float* a0 = pa + i * k;
     auto load_a = [&](index_t p, index_t r) { return a0[r * k + p]; };
-    mul_band(load_a, pk, kJTile, index_t{0}, pc, i, kRowBlock, j0, jr, k, n);
+    mul_band<Acc>(load_a, pk, kJTile, index_t{0}, pc, i, kRowBlock, j0, jr, k, n);
   }
   if (i < i1) {
     const float* a0 = pa + i * k;
     auto load_a = [&](index_t p, index_t r) { return a0[r * k + p]; };
-    mul_band(load_a, pk, kJTile, index_t{0}, pc, i, i1 - i, j0, jr, k, n);
+    mul_band<Acc>(load_a, pk, kJTile, index_t{0}, pc, i, i1 - i, j0, jr, k, n);
   }
 }
 
 // C rows [i0,i1) = A rows * B^T  (A {m,k}, B {n,k}, both row-major),
 // packing each panel locally — for callers that process the whole row
 // range in one call (the grouped/batched paths pack once per group).
+template <bool Acc = false>
 void gemm_nt_rows(const float* pa, const float* pb, float* pc, index_t i0,
                   index_t i1, index_t k, index_t n) {
   // thread_local: reused across the many small NT GEMMs of an eval loop
@@ -213,7 +241,7 @@ void gemm_nt_rows(const float* pa, const float* pb, float* pc, index_t i0,
   for (index_t j0 = 0; j0 < n; j0 += kJTile) {
     const index_t jr = std::min(kJTile, n - j0);
     pack_nt_panel(pb, k, j0, jr, pack.data());
-    gemm_nt_panel_rows(pa, pack.data(), pc, i0, i1, j0, jr, k, n);
+    gemm_nt_panel_rows<Acc>(pa, pack.data(), pc, i0, i1, j0, jr, k, n);
   }
 }
 
@@ -255,6 +283,39 @@ void launch_rows(index_t m, index_t macs_per_row, Core&& core) {
   parallel_for(index_t{0}, m, grain, core);
 }
 
+// Shared body of matmul_nt_into / matmul_nt_acc_into: serial cutoff,
+// pack every B panel once up front so row-split worker threads share the
+// transposed panels, then the row-partition sweep. One definition keeps
+// the overwrite and accumulate paths schedule-identical — the chained
+// bit-equality contract of the acc form depends on that.
+template <bool Acc>
+void gemm_nt_dispatch(const float* pa, const float* pb, float* pc, index_t m,
+                      index_t k, index_t n) {
+  if (m * k * n < kSerialMacs) {
+    gemm_nt_rows<Acc>(pa, pb, pc, index_t{0}, m, k, n);
+    return;
+  }
+  // thread_local (one buffer per Acc instantiation): reused by the many
+  // same-shape NT GEMMs of an eval or training loop without a heap
+  // allocation per call.
+  const index_t npanels = (n + kJTile - 1) / kJTile;
+  thread_local std::vector<float> pack;
+  if (pack.size() < static_cast<std::size_t>(npanels * k * kJTile)) {
+    pack.resize(static_cast<std::size_t>(npanels * k * kJTile));
+  }
+  for (index_t j0 = 0; j0 < n; j0 += kJTile) {
+    pack_nt_panel(pb, k, j0, std::min(kJTile, n - j0),
+                  pack.data() + (j0 / kJTile) * k * kJTile);
+  }
+  const float* pk_all = pack.data();
+  launch_rows(m, k * n, [=](index_t i0, index_t i1) {
+    for (index_t j0 = 0; j0 < n; j0 += kJTile) {
+      gemm_nt_panel_rows<Acc>(pa, pk_all + (j0 / kJTile) * k * kJTile, pc, i0,
+                              i1, j0, std::min(kJTile, n - j0), k, n);
+    }
+  });
+}
+
 }  // namespace
 
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -279,39 +340,24 @@ void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c) {
   check_gemm_2d("matmul_nt", a, b, 1, 1);
   const index_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   c.resize_for_overwrite({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  if (m * k * n < kSerialMacs) {
-    gemm_nt_rows(pa, pb, pc, index_t{0}, m, k, n);
-    return;
-  }
-  // Pack every B panel once up front so row-split worker threads share
-  // the transposed panels instead of each re-packing all of B. The pack
-  // buffer is thread_local so the many same-shape NT GEMMs of an eval or
-  // training loop reuse one allocation.
-  const index_t npanels = (n + kJTile - 1) / kJTile;
-  thread_local std::vector<float> pack;
-  if (pack.size() < static_cast<std::size_t>(npanels * k * kJTile)) {
-    pack.resize(static_cast<std::size_t>(npanels * k * kJTile));
-  }
-  for (index_t j0 = 0; j0 < n; j0 += kJTile) {
-    pack_nt_panel(pb, k, j0, std::min(kJTile, n - j0),
-                  pack.data() + (j0 / kJTile) * k * kJTile);
-  }
-  const float* pk_all = pack.data();
-  launch_rows(m, k * n, [=](index_t i0, index_t i1) {
-    for (index_t j0 = 0; j0 < n; j0 += kJTile) {
-      gemm_nt_panel_rows(pa, pk_all + (j0 / kJTile) * k * kJTile, pc, i0, i1,
-                         j0, std::min(kJTile, n - j0), k, n);
-    }
-  });
+  gemm_nt_dispatch<false>(a.data(), b.data(), c.data(), m, k, n);
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   Tensor c;
   matmul_nt_into(a, b, c);
   return c;
+}
+
+void matmul_nt_acc_into(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_gemm_2d("matmul_nt_acc", a, b, 1, 1);
+  const index_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (c.ndim() != 2 || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument(
+        "matmul_nt_acc: C must be pre-sized to {m,n}, got " + shape_str(c) +
+        " for " + shape_str(a) + " * " + shape_str(b) + "^T");
+  }
+  gemm_nt_dispatch<true>(a.data(), b.data(), c.data(), m, k, n);
 }
 
 void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& c) {

@@ -39,6 +39,17 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b);
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& c);
 void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c);
 void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Accumulating NT GEMM: C(m,n) (+)= A(m,k) * B(n,k)^T. `c` must already
+/// be {m,n} (throws otherwise; it is never resized). Each output
+/// element's accumulation chain CONTINUES from c's current value with the
+/// same ascending-k order as matmul_nt_into, so splitting the contraction
+/// dimension into segments and chaining acc calls — zero-initialized c,
+/// one call per k-segment in ascending order — is bit-identical to a
+/// single full-width matmul_nt_into. This exact-reassociation guarantee
+/// is the partial-sum determinism contract of the crossbar column tiling
+/// (DESIGN.md §10). Thread-count independent like every GEMM here.
+void matmul_nt_acc_into(const Tensor& a, const Tensor& b, Tensor& c);
 void matmul_nt_batched_into(const Tensor& a, const Tensor& b, index_t groups,
                             Tensor& c);
 void matmul_nt_shared_into(const Tensor& a, const Tensor& b, index_t groups,

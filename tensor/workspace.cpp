@@ -1,6 +1,7 @@
 #include "tensor/workspace.h"
 
 #include <cstdlib>
+#include <limits>
 
 namespace qavat {
 
@@ -35,6 +36,17 @@ void Workspace::trim(std::size_t cap_bytes) {
     }
     retained_bytes_ -= lru->second.bytes;
     slots_.erase(lru);
+  }
+}
+
+void Workspace::release(const void* owner) {
+  // Keys sort by owner pointer first, so the owner's slots are one
+  // contiguous map range. retained_bytes_ is the sum of the recorded
+  // per-entry shares, so subtracting each record keeps it exact.
+  auto it = slots_.lower_bound({owner, std::numeric_limits<int>::min()});
+  while (it != slots_.end() && it->first.first == owner) {
+    retained_bytes_ -= it->second.bytes;
+    it = slots_.erase(it);
   }
 }
 

@@ -38,6 +38,12 @@
 
 namespace qavat {
 
+/// Keyed scratch arena: persistently-sized float buffers handed out by
+/// (owner pointer, slot id), LRU-trimmed to QAVAT_WORKSPACE_MB. Sizes are
+/// element counts (4-byte floats); shapes follow the tensor conventions
+/// ({rows, cols} matrices, {N, C, H, W} images). NOT thread-safe — one
+/// workspace per model, driven from the single thread that runs
+/// forward/backward (see the lifetime contract above).
 class Workspace {
  public:
   /// Borrow the scratch tensor for (owner, slot), resized to `shape`.
@@ -52,6 +58,13 @@ class Workspace {
   /// Free least-recently-acquired slots until retained_bytes() <= cap.
   /// Invalidates references to the freed slots.
   void trim(std::size_t cap_bytes);
+
+  /// Free every slot keyed by `owner` (all slot ids). Owners whose
+  /// lifetime ends before the workspace's (e.g. the per-chip
+  /// TiledCrossbarLayers of a circuit evaluation) call this from their
+  /// destructor so dead-owner buffers never crowd live layers out of the
+  /// retention cap. Invalidates references to the freed slots.
+  void release(const void* owner);
 
   /// QAVAT_WORKSPACE_MB (positive integer, megabytes) as a byte cap;
   /// default 256 MB. Resolved once and cached.
