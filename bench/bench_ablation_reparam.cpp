@@ -9,28 +9,21 @@ using namespace qavat;
 using namespace qavat::bench;
 
 int main() {
+  BenchHarness bench("bench_ablation_reparam");
   const ModelKind kind = ModelKind::kLeNet5s;
   const VarianceModel vm = VarianceModel::kWeightProportional;
-  SplitDataset data = make_dataset_for(kind);
-  EvalConfig ecfg = default_eval_config(kind);
-  ModelConfig mcfg = default_model_config(kind, 2, 2);
 
   std::printf("Ablation A: reparameterized vs biased variability gradients\n");
   std::printf("(LeNet-5s A2W2, within-chip weight-proportional; accuracy %%)\n\n");
 
   TextTable table({"sigma", "reparameterized", "biased (Eq. 1)"});
   for (double sigma : {0.3, 0.5}) {
-    const VariabilityConfig env = VariabilityConfig::within_only(vm, sigma);
     std::vector<std::string> row = {TextTable::fmt(sigma, 1)};
     for (bool reparam : {true, false}) {
-      TrainConfig tcfg = within_train_config(kind, vm, sigma);
-      tcfg.reparam = reparam;
-      auto trained = train_cached(kind, mcfg, TrainAlgo::kQAVAT, data, tcfg);
-      const double acc = eval_mean(
-          std::string("lenet5s_A2W2_ablA_rep") + (reparam ? "1" : "0") + "_" +
-              env_key(env),
-          *trained.model, data.test, env, ecfg);
-      row.push_back(pct(acc));
+      ScenarioSpec spec =
+          ScenarioSpec::within(kind, 2, 2, ScenarioAlgo::kQAVAT, vm, sigma);
+      spec.train.reparam = reparam;
+      row.push_back(pct(bench.session.run(spec).mean_acc));
       std::fflush(stdout);
     }
     table.add_row(std::move(row));

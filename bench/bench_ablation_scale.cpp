@@ -8,37 +8,27 @@ using namespace qavat;
 using namespace qavat::bench;
 
 int main() {
+  BenchHarness bench("bench_ablation_scale");
   const ModelKind kind = ModelKind::kLeNet5s;
   const VarianceModel vm = VarianceModel::kWeightProportional;
-  SplitDataset data = make_dataset_for(kind);
-  EvalConfig ecfg = default_eval_config(kind);
-  ModelConfig mcfg = default_model_config(kind, 2, 2);
 
   std::printf("Ablation B: MMSE weight-scale update policy\n");
   std::printf("(LeNet-5s A2W2; accuracy %%)\n\n");
 
   TextTable table({"algo", "sigma", "init-only", "per-epoch"});
   for (double sigma : {0.0, 0.3}) {
-    const TrainAlgo algo = sigma > 0.0 ? TrainAlgo::kQAVAT : TrainAlgo::kQAT;
+    const ScenarioAlgo algo =
+        sigma > 0.0 ? ScenarioAlgo::kQAVAT : ScenarioAlgo::kQAT;
     std::vector<std::string> row = {to_string(algo), TextTable::fmt(sigma, 1)};
     for (ScaleUpdatePolicy policy :
          {ScaleUpdatePolicy::kInitOnly, ScaleUpdatePolicy::kPerEpoch}) {
-      TrainConfig tcfg = within_train_config(kind, vm, std::max(sigma, 0.0));
-      if (algo == TrainAlgo::kQAT) tcfg.train_noise = VariabilityConfig{};
-      tcfg.scale_update = policy;
-      auto trained = train_cached(kind, mcfg, algo, data, tcfg);
-      double acc;
-      if (sigma > 0.0) {
-        const VariabilityConfig env = VariabilityConfig::within_only(vm, sigma);
-        acc = eval_mean(
-            std::string("lenet5s_A2W2_ablB_su") +
-                (policy == ScaleUpdatePolicy::kPerEpoch ? "1" : "0") + "_" +
-                env_key(env),
-            *trained.model, data.test, env, ecfg);
-      } else {
-        acc = trained.clean_test_acc;
-      }
-      row.push_back(pct(acc));
+      // sigma = 0 is a clean-accuracy scenario (no deployment noise, no
+      // train noise); sigma > 0 the usual within-chip QAVAT row.
+      ScenarioSpec spec = sigma > 0.0
+                              ? ScenarioSpec::within(kind, 2, 2, algo, vm, sigma)
+                              : ScenarioSpec::base(kind, 2, 2, algo);
+      spec.train.scale_update = policy;
+      row.push_back(pct(bench.session.run(spec).mean_acc));
       std::fflush(stdout);
     }
     table.add_row(std::move(row));

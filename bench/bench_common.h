@@ -1,79 +1,36 @@
 // Shared helpers for the experiment reproduction binaries.
 //
-// Every bench binary follows the same pattern: resolve the workload
-// defaults from eval/experiment.h, train (through the model cache),
-// evaluate (through the result cache), and print a TextTable matching the
-// paper's table/figure. The helpers here encode the two recurring
-// protocols:
-//
-//  * eval_mean — mean accuracy over Monte-Carlo chips, result-cached under
-//    a descriptive space-free key.
-//  * within-training for mixed deployment — the paper's self-tuning recipe
-//    trains QAVAT with *within-chip sampling only* and appends the tuning
-//    modules afterwards (§III.B last paragraph); mixed-type deployments
-//    therefore train at sigma_W = sigma_tot / sqrt(2).
+// Every bench binary is a declarative scenario grid: build ScenarioSpecs
+// (eval/scenario.h) for the table/figure being reproduced, run them
+// through one Session (eval/runner.h) — which resolves datasets, trains
+// through the store-backed model cache and evaluates through the
+// store-backed result cache — and print a TextTable. Numbers go to
+// stdout (byte-stable between cold and warm runs); provenance and timing
+// go to stderr via the session summary the BenchHarness prints at exit.
 #pragma once
 
-#include <cmath>
-#include <cstdio>
-#include <sstream>
 #include <string>
 
-#include "eval/experiment.h"
+#include "eval/runner.h"
 #include "eval/table.h"
 
 namespace qavat {
 namespace bench {
 
-inline std::string fmt_sigma(double s) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.3f", s);
-  return buf;
-}
-
 /// Percent formatting for table cells.
 inline std::string pct(double frac) { return TextTable::fmt(100.0 * frac, 1); }
 
-/// Mean Monte-Carlo accuracy with result caching. `key` must be unique per
-/// (model, deployment, self-tuning) combination and contain no spaces.
-inline double eval_mean(const std::string& key, Module& model, const Dataset& test,
-                        const VariabilityConfig& vcfg, const EvalConfig& ecfg,
-                        const SelfTuneConfig* st = nullptr) {
-  const std::string full_key = key + "_c" + std::to_string(ecfg.n_chips) + "_t" +
-                               std::to_string(ecfg.max_test_samples);
-  return with_result_cache(full_key, [&] {
-    return evaluate_under_variability(model, test, vcfg, ecfg, st).accuracy.mean;
-  });
-}
+/// The per-binary Session plus the machine-greppable provenance summary
+/// on stderr at scope exit (the CI cold/warm store gate parses it).
+struct BenchHarness {
+  explicit BenchHarness(const char* name) : name(name) {}
+  ~BenchHarness() { session.print_summary(name); }
+  BenchHarness(const BenchHarness&) = delete;
+  BenchHarness& operator=(const BenchHarness&) = delete;
 
-inline const char* vm_key(VarianceModel m) {
-  return m == VarianceModel::kWeightProportional ? "wp" : "lf";
-}
-
-/// Key fragment describing a deployment environment.
-inline std::string env_key(const VariabilityConfig& v) {
-  std::ostringstream os;
-  os << vm_key(v.model) << "_sw" << fmt_sigma(v.sigma_w) << "_sb"
-     << fmt_sigma(v.sigma_b);
-  return os.str();
-}
-
-/// Training config for a QAVAT model destined for a *within-chip only*
-/// deployment at the given sigma.
-inline TrainConfig within_train_config(ModelKind kind, VarianceModel vm,
-                                       double sigma_w) {
-  TrainConfig t = default_train_config(kind);
-  t.train_noise = VariabilityConfig::within_only(vm, sigma_w);
-  return t;
-}
-
-/// Training config following the paper's self-tuning deployment recipe:
-/// for mixed-type deployment at sigma_tot, train with within-chip sampling
-/// at the deployment's within component sigma_tot / sqrt(2).
-inline TrainConfig mixed_deploy_train_config(ModelKind kind, VarianceModel vm,
-                                             double sigma_tot) {
-  return within_train_config(kind, vm, sigma_tot / std::sqrt(2.0));
-}
+  Session session;
+  const char* name;
+};
 
 }  // namespace bench
 }  // namespace qavat

@@ -11,19 +11,34 @@ using namespace qavat;
 using namespace qavat::bench;
 
 int main() {
+  BenchHarness bench("bench_drift");
   const ModelKind kind = ModelKind::kLeNet5s;
   const VarianceModel vm = VarianceModel::kWeightProportional;
-  SplitDataset data = make_dataset_for(kind);
-  ModelConfig mcfg = default_model_config(kind, 4, 2);
 
   DriftConfig dcfg;
   dcfg.model = vm;
   dcfg.sigma_b = 0.35;
   dcfg.sigma_w = 0.25;
 
-  // Train per the ST recipe: within-chip sampling only.
-  TrainConfig tcfg = within_train_config(kind, vm, dcfg.sigma_w);
-  auto trained = train_cached(kind, mcfg, TrainAlgo::kQAVAT, data, tcfg);
+  // Train per the ST recipe: within-chip sampling only, at the drift's
+  // within component.
+  const ScenarioSpec spec =
+      ScenarioSpec::within(kind, 4, 2, ScenarioAlgo::kQAVAT, vm, dcfg.sigma_w);
+  TrainedModel trained = bench.session.train_model(spec);
+  const Dataset& test = bench.session.dataset(kind).test;
+  // Drift results persist to the store, so their keys must carry the
+  // full identity: the scenario key (model, bits, training recipe) plus
+  // every drift knob — an under-specified key would return stale numbers
+  // after a constant change.
+  const auto drift_key = [&](const char* what, double tau, index_t interval,
+                             index_t n_steps) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "_%s[sw%g_sb%g_tau%g_k%lld_n%lld]", what,
+                  dcfg.sigma_w, dcfg.sigma_b, tau,
+                  static_cast<long long>(interval),
+                  static_cast<long long>(n_steps));
+    return spec.key() + buf;
+  };
   std::printf("Drift extension: self-tuning vs temperature/aging drift\n");
   std::printf("(LeNet-5s A4W2; OU drift with stationary sigma_B = %.2f;\n",
               dcfg.sigma_b);
@@ -39,17 +54,17 @@ int main() {
       ecfg.batch_size = 50;
       ecfg.remeasure_interval = interval;
       const double acc = with_result_cache(
-          "drift_tau" + std::to_string(static_cast<int>(tau)) + "_k" +
-              std::to_string(interval) + "_n" + std::to_string(ecfg.n_steps),
-          [&] {
-            return evaluate_under_drift(*trained.model, data.test, dcfg, ecfg)
+          drift_key("drift", tau, interval, ecfg.n_steps), [&] {
+            return evaluate_under_drift(*trained.model, test, dcfg, ecfg)
                 .mean_acc;
           });
       DriftEvalConfig probe = ecfg;
       probe.n_steps = fast_mode() ? 16 : 64;
-      const double staleness =
-          evaluate_under_drift(*trained.model, data.test, dcfg, probe)
-              .mean_abs_error;
+      const double staleness = with_result_cache(
+          drift_key("driftstale", tau, interval, probe.n_steps), [&] {
+            return evaluate_under_drift(*trained.model, test, dcfg, probe)
+                .mean_abs_error;
+          });
       table.add_row({interval == 0 ? "never (factory only)" : std::to_string(interval),
                      pct(acc), TextTable::fmt(staleness, 3)});
       std::fflush(stdout);

@@ -8,11 +8,12 @@ using namespace qavat;
 using namespace qavat::bench;
 
 int main() {
+  BenchHarness bench("bench_fig4");
   const ModelKind kind = ModelKind::kResNet18s;
-  SplitDataset data = make_dataset_for(kind);
-  EvalConfig ecfg = default_eval_config(kind);
   const double sigmas[] = {0.1, 0.3, 0.5};  // paper sweeps 5 points; 3 keep
                                             // the shape within CPU budget
+  const ScenarioAlgo algos[] = {ScenarioAlgo::kQAVAT, ScenarioAlgo::kQAT,
+                                ScenarioAlgo::kPTQVAT};
 
   std::printf("Fig. 4: QAVAT vs QAT vs PTQ-VAT, ResNet-18s / SynthImages-100\n");
   std::printf("(within-chip variation; mean accuracy %% over chips)\n");
@@ -26,32 +27,15 @@ int main() {
                   static_cast<long long>(a_bits), static_cast<long long>(w_bits),
                   to_string(vm));
       TextTable table({"sigma", "QAVAT", "QAT", "PTQ-VAT"});
-      ModelConfig mcfg = default_model_config(kind, a_bits, w_bits);
-
       for (double sigma : sigmas) {
-        const VariabilityConfig env = VariabilityConfig::within_only(vm, sigma);
-        TrainConfig tcfg = within_train_config(kind, vm, sigma);
-        const std::string key_base = std::string(to_string(kind)) + "_A" +
-                                     std::to_string(a_bits) + "W" +
-                                     std::to_string(w_bits) + "_f4_" + env_key(env);
-
-        auto qavat = train_cached(kind, mcfg, TrainAlgo::kQAVAT, data, tcfg);
-        const double acc_qavat =
-            eval_mean(key_base + "_QAVAT", *qavat.model, data.test, env, ecfg);
-        qavat.model.reset();
-
-        auto qat = train_cached(kind, mcfg, TrainAlgo::kQAT, data, tcfg);
-        const double acc_qat =
-            eval_mean(key_base + "_QAT", *qat.model, data.test, env, ecfg);
-        qat.model.reset();
-
-        auto ptq = train_ptq_vat_cached(kind, mcfg, data, tcfg);
-        const double acc_ptq =
-            eval_mean(key_base + "_PTQVAT", *ptq.model, data.test, env, ecfg);
-
-        table.add_row({TextTable::fmt(sigma, 1), pct(acc_qavat), pct(acc_qat),
-                       pct(acc_ptq)});
-        std::fflush(stdout);
+        std::vector<std::string> cells = {TextTable::fmt(sigma, 1)};
+        for (ScenarioAlgo algo : algos) {
+          const ScenarioSpec spec =
+              ScenarioSpec::within(kind, a_bits, w_bits, algo, vm, sigma);
+          cells.push_back(pct(bench.session.run(spec).mean_acc));
+          std::fflush(stdout);
+        }
+        table.add_row(std::move(cells));
       }
       table.print();
     }

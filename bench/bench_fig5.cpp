@@ -5,17 +5,16 @@
 //
 // Following the paper's deployment recipe (§III.B), the models are trained
 // with within-chip Monte-Carlo sampling; the mixed-type rows show the same
-// kind of model failing once the correlated component appears.
+// kind of model failing once the correlated component appears. Both
+// recipes are encoded by the ScenarioSpec builders.
 #include "bench_common.h"
 
 using namespace qavat;
 using namespace qavat::bench;
 
 int main() {
+  BenchHarness bench("bench_fig5");
   const ModelKind kind = ModelKind::kResNet18s;
-  SplitDataset data = make_dataset_for(kind);
-  EvalConfig ecfg = default_eval_config(kind);
-  ModelConfig mcfg = default_model_config(kind, 4, 2);
   const double sigmas[] = {0.1, 0.3, 0.5};  // paper sweeps 5 points; 3 keep
                                             // the shape within CPU budget
 
@@ -27,25 +26,13 @@ int main() {
     std::printf("%s variance model\n", to_string(vm));
     TextTable table({"sigma_tot", "within-chip only", "mixed-type"});
     for (double sigma : sigmas) {
-      // Within-chip deployment: model trained at matching sigma_W.
-      const VariabilityConfig env_within = VariabilityConfig::within_only(vm, sigma);
-      TrainConfig t_within = within_train_config(kind, vm, sigma);
-      auto m_within = train_cached(kind, mcfg, TrainAlgo::kQAVAT, data, t_within);
-      const double acc_within = eval_mean(
-          std::string("resnet18s_A4W2_f5_") + env_key(env_within) + "_QAVAT",
-          *m_within.model, data.test, env_within, ecfg);
-      m_within.model.reset();
-
-      // Mixed-type deployment of the same sigma_tot: trained per the ST
-      // recipe with the within component only.
-      const VariabilityConfig env_mixed = VariabilityConfig::mixed(vm, sigma);
-      TrainConfig t_mixed = mixed_deploy_train_config(kind, vm, sigma);
-      auto m_mixed = train_cached(kind, mcfg, TrainAlgo::kQAVAT, data, t_mixed);
-      const double acc_mixed = eval_mean(
-          std::string("resnet18s_A4W2_f5_") + env_key(env_mixed) + "_QAVAT",
-          *m_mixed.model, data.test, env_mixed, ecfg);
-
-      table.add_row({TextTable::fmt(sigma, 1), pct(acc_within), pct(acc_mixed)});
+      const ScenarioSpec within =
+          ScenarioSpec::within(kind, 4, 2, ScenarioAlgo::kQAVAT, vm, sigma);
+      const ScenarioSpec mixed =
+          ScenarioSpec::mixed(kind, 4, 2, ScenarioAlgo::kQAVAT, vm, sigma);
+      table.add_row({TextTable::fmt(sigma, 1),
+                     pct(bench.session.run(within).mean_acc),
+                     pct(bench.session.run(mixed).mean_acc)});
       std::fflush(stdout);
     }
     table.print();

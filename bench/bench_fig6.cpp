@@ -11,10 +11,8 @@ using namespace qavat;
 using namespace qavat::bench;
 
 int main() {
+  BenchHarness bench("bench_fig6");
   const ModelKind kind = ModelKind::kResNet18s;
-  SplitDataset data = make_dataset_for(kind);
-  EvalConfig ecfg = default_eval_config(kind);
-  ModelConfig mcfg = default_model_config(kind, 4, 2);
 
   std::printf("Fig. 6: self-tuning under mixed-type variation\n");
   std::printf("(ResNet-18s A4W2; mean accuracy %% over chips)\n\n");
@@ -25,30 +23,20 @@ int main() {
     std::printf("(%c) %s\n", 'a' + panel++, to_string(vm));
     TextTable table({"sigma_tot", "QAVAT+ST", "QAVAT", "QAVAT+WrongST"});
     for (double sigma : {0.1, 0.3, 0.5}) {
-      const VariabilityConfig env = VariabilityConfig::mixed(vm, sigma);
-      TrainConfig tcfg = mixed_deploy_train_config(kind, vm, sigma);
-      auto trained = train_cached(kind, mcfg, TrainAlgo::kQAVAT, data, tcfg);
-      const std::string key_base =
-          std::string("resnet18s_A4W2_f6_") + env_key(env);
-
-      SelfTuneConfig st;
-      st.mode = proper_mode(vm);
+      const ScenarioSpec plain =
+          ScenarioSpec::mixed(kind, 4, 2, ScenarioAlgo::kQAVAT, vm, sigma);
       const bool heavy = vm == VarianceModel::kLayerFixed && sigma >= 0.3;
-      st.gtm_cells = heavy ? 100000 : 1000;
-      st.ltm_columns = heavy ? 16 : 1;
+      const index_t gtm = heavy ? 100000 : 1000;
+      const index_t ltm = heavy ? 16 : 1;
+      ScenarioSpec tuned = plain;
+      tuned.with_selftune(proper_mode(vm), gtm, ltm);
+      ScenarioSpec wrong = plain;
+      wrong.with_selftune(wrong_mode(vm), gtm, ltm);
 
-      SelfTuneConfig wrong = st;
-      wrong.mode = wrong_mode(vm);
-
-      const double acc_st = eval_mean(key_base + "_ST", *trained.model, data.test,
-                                      env, ecfg, &st);
-      const double acc_plain =
-          eval_mean(key_base + "_noST", *trained.model, data.test, env, ecfg);
-      const double acc_wrong = eval_mean(key_base + "_wrongST", *trained.model,
-                                         data.test, env, ecfg, &wrong);
-
-      table.add_row({TextTable::fmt(sigma, 1), pct(acc_st), pct(acc_plain),
-                     pct(acc_wrong)});
+      table.add_row({TextTable::fmt(sigma, 1),
+                     pct(bench.session.run(tuned).mean_acc),
+                     pct(bench.session.run(plain).mean_acc),
+                     pct(bench.session.run(wrong).mean_acc)});
       std::fflush(stdout);
     }
     table.print();

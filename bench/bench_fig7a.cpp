@@ -11,34 +11,26 @@ using namespace qavat;
 using namespace qavat::bench;
 
 int main() {
+  BenchHarness bench("bench_fig7a");
   const ModelKind kind = ModelKind::kVGG11s;
   const VarianceModel vm = VarianceModel::kWeightProportional;
-  SplitDataset data = make_dataset_for(kind);
-  EvalConfig ecfg = default_eval_config(kind);
 
   std::printf("Fig. 7a: impact of multi-sampling (VGG-11s, within-chip)\n");
   std::printf("(mean accuracy %% over chips)\n\n");
 
   for (index_t a_bits : {index_t{8}, index_t{4}}) {
     const index_t w_bits = a_bits == 8 ? 4 : 2;
-    ModelConfig mcfg = default_model_config(kind, a_bits, w_bits);
     std::printf("A%lldW%lld\n", static_cast<long long>(a_bits),
                 static_cast<long long>(w_bits));
     TextTable table({"n", "sigma=0.3", "sigma=0.5"});
     for (index_t n : {index_t{1}, index_t{5}, index_t{10}}) {
       std::vector<std::string> row = {std::to_string(n)};
       for (double sigma : {0.3, 0.5}) {
-        const VariabilityConfig env = VariabilityConfig::within_only(vm, sigma);
-        TrainConfig tcfg = within_train_config(kind, vm, sigma);
-        tcfg.epochs = fast_mode() ? 1 : 4;  // n multiplies the cost
-        tcfg.n_variation_samples = n;
-        auto trained = train_cached(kind, mcfg, TrainAlgo::kQAVAT, data, tcfg);
-        const double acc = eval_mean(
-            std::string(to_string(kind)) + "_A" + std::to_string(a_bits) + "W" +
-                std::to_string(w_bits) + "_f7a_n" + std::to_string(n) + "_" +
-                env_key(env),
-            *trained.model, data.test, env, ecfg);
-        row.push_back(pct(acc));
+        ScenarioSpec spec = ScenarioSpec::within(kind, a_bits, w_bits,
+                                                 ScenarioAlgo::kQAVAT, vm, sigma);
+        spec.train.epochs = fast_mode() ? 1 : 4;  // n multiplies the cost
+        spec.train.n_variation_samples = n;
+        row.push_back(pct(bench.session.run(spec).mean_acc));
         std::fflush(stdout);
       }
       table.add_row(std::move(row));

@@ -7,11 +7,9 @@ using namespace qavat;
 using namespace qavat::bench;
 
 int main() {
+  BenchHarness bench("bench_fig7b");
   const ModelKind kind = ModelKind::kResNet18s;
   const VarianceModel vm = VarianceModel::kLayerFixed;
-  SplitDataset data = make_dataset_for(kind);
-  EvalConfig ecfg = default_eval_config(kind);
-  ModelConfig mcfg = default_model_config(kind, 4, 2);
 
   std::printf("Fig. 7b: impact of self-tuning size (ResNet-18s, mixed-type,\n");
   std::printf("layer-fixed variance; mean accuracy %% over chips)\n\n");
@@ -24,18 +22,10 @@ int main() {
     for (index_t gtm : gtm_sizes) {
       std::vector<std::string> row = {std::to_string(gtm)};
       for (double sigma : {0.1, 0.3, 0.5}) {
-        const VariabilityConfig env = VariabilityConfig::mixed(vm, sigma);
-        TrainConfig tcfg = mixed_deploy_train_config(kind, vm, sigma);
-        auto trained = train_cached(kind, mcfg, TrainAlgo::kQAVAT, data, tcfg);
-        SelfTuneConfig st;
-        st.mode = proper_mode(vm);
-        st.gtm_cells = gtm;
-        st.ltm_columns = ltm;
-        const double acc = eval_mean(
-            std::string("resnet18s_A4W2_f7b_g") + std::to_string(gtm) + "_l" +
-                std::to_string(ltm) + "_" + env_key(env),
-            *trained.model, data.test, env, ecfg, &st);
-        row.push_back(pct(acc));
+        ScenarioSpec spec =
+            ScenarioSpec::mixed(kind, 4, 2, ScenarioAlgo::kQAVAT, vm, sigma);
+        spec.with_selftune(proper_mode(vm), gtm, ltm);
+        row.push_back(pct(bench.session.run(spec).mean_acc));
         std::fflush(stdout);
       }
       table.add_row(std::move(row));

@@ -18,6 +18,7 @@ using namespace qavat;
 using namespace qavat::bench;
 
 int main() {
+  BenchHarness bench("bench_pim_equivalence");
   std::printf("PIM equivalence checks (circuit vs weight-domain model)\n\n");
   int failures = 0;
 
@@ -204,15 +205,14 @@ int main() {
   std::printf("\nMonte-Carlo eval: tiled-circuit backend vs weight-domain:\n");
   {
     const ModelKind kind = ModelKind::kLeNet5s;
-    const ModelConfig mcfg = default_model_config(kind, 4, 2);
-    SplitDataset data = make_dataset_for(kind);
-    const VariabilityConfig vcfg =
-        VariabilityConfig::mixed(VarianceModel::kWeightProportional, 0.3);
-    TrainedModel tm = train_cached(
-        kind, mcfg, TrainAlgo::kQAVAT, data,
-        mixed_deploy_train_config(kind, vcfg.model, 0.3));
+    const ScenarioSpec spec = ScenarioSpec::mixed(
+        kind, 4, 2, ScenarioAlgo::kQAVAT, VarianceModel::kWeightProportional,
+        0.3);
+    const VariabilityConfig vcfg = spec.deploy;
+    TrainedModel tm = bench.session.train_model(spec);
+    const SplitDataset& data = bench.session.dataset(kind);
     SelfTuneConfig st;
-    EvalConfig ecfg = default_eval_config(kind);
+    EvalConfig ecfg = spec.eval;
     ecfg.n_chips = fast_mode() ? 8 : 16;
     ecfg.backend = EvalBackend::kWeightDomain;
     EvalStats wd_stats =

@@ -2,9 +2,9 @@
 // the lowest (sigma = 0.1) and highest (sigma = 0.5) variation levels.
 // Columns: PTQ-VAT (the paper's "VAT" column), QAT, QAVAT; rows: ResNet-18s
 // A4W2 / A8W4, VGG-11s A4W2 / A8W4, LeNet-5s A2W2 — each on its synthetic
-// stand-in dataset (DESIGN.md §2).
-#include <chrono>
-
+// stand-in dataset (DESIGN.md §2). Declared as a ScenarioSpec grid; a warm
+// run against a populated store retrains nothing and reproduces this
+// table byte-identically (stdout carries only the deterministic numbers).
 #include "bench_common.h"
 
 using namespace qavat;
@@ -17,67 +17,36 @@ struct Row {
   index_t a_bits, w_bits;
 };
 
-// Wall time of the Monte-Carlo evaluations alone (training excluded), so
-// the batched-vs-sequential eval speedup is directly observable: compare
-// a default run against QAVAT_CHIP_BATCH=1 (identical accuracies, only
-// the wall time changes).
-double g_eval_seconds = 0.0;
-
-double timed_eval_mean(const std::string& key, Module& model, const Dataset& test,
-                       const VariabilityConfig& vcfg, const EvalConfig& ecfg) {
-  const auto t0 = std::chrono::steady_clock::now();
-  const double acc = eval_mean(key, model, test, vcfg, ecfg);
-  g_eval_seconds +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  return acc;
-}
-
 }  // namespace
 
 int main() {
+  BenchHarness bench("bench_table1");
   const VarianceModel vm = VarianceModel::kLayerFixed;
   const Row rows[] = {
       {ModelKind::kResNet18s, 4, 2}, {ModelKind::kResNet18s, 8, 4},
       {ModelKind::kVGG11s, 4, 2},    {ModelKind::kVGG11s, 8, 4},
       {ModelKind::kLeNet5s, 2, 2},
   };
+  const ScenarioAlgo algos[] = {ScenarioAlgo::kPTQVAT, ScenarioAlgo::kQAT,
+                                ScenarioAlgo::kQAVAT};
 
   std::printf("Table I: QAVAT vs baselines at the lowest/highest variability\n");
   std::printf("(within-chip only, layer-fixed variance; mean accuracy %% over chips)\n\n");
 
   TextTable table({"Model", "A/W", "sigma", "PTQ-VAT", "QAT", "QAVAT"});
   for (const Row& row : rows) {
-    SplitDataset data = make_dataset_for(row.kind);
-    ModelConfig mcfg = default_model_config(row.kind, row.a_bits, row.w_bits);
-    EvalConfig ecfg = default_eval_config(row.kind);
-
     for (double sigma : {0.1, 0.5}) {
-      const VariabilityConfig env = VariabilityConfig::within_only(vm, sigma);
-      TrainConfig tcfg = within_train_config(row.kind, vm, sigma);
-
-      auto key_base = std::string(to_string(row.kind)) + "_A" +
-                      std::to_string(row.a_bits) + "W" + std::to_string(row.w_bits) +
-                      "_t1_" + env_key(env);
-
-      auto ptq = train_ptq_vat_cached(row.kind, mcfg, data, tcfg);
-      const double acc_ptq =
-          timed_eval_mean(key_base + "_PTQVAT", *ptq.model, data.test, env, ecfg);
-      ptq.model.reset();
-
-      auto qat = train_cached(row.kind, mcfg, TrainAlgo::kQAT, data, tcfg);
-      const double acc_qat =
-          timed_eval_mean(key_base + "_QAT", *qat.model, data.test, env, ecfg);
-      qat.model.reset();
-
-      auto qavat = train_cached(row.kind, mcfg, TrainAlgo::kQAVAT, data, tcfg);
-      const double acc_qavat =
-          timed_eval_mean(key_base + "_QAVAT", *qavat.model, data.test, env, ecfg);
-
-      table.add_row({to_string(row.kind),
-                     std::to_string(row.a_bits) + "/" + std::to_string(row.w_bits),
-                     TextTable::fmt(sigma, 1), pct(acc_ptq), pct(acc_qat),
-                     pct(acc_qavat)});
-      std::fflush(stdout);
+      std::vector<std::string> cells = {
+          to_string(row.kind),
+          std::to_string(row.a_bits) + "/" + std::to_string(row.w_bits),
+          TextTable::fmt(sigma, 1)};
+      for (ScenarioAlgo algo : algos) {
+        const ScenarioSpec spec = ScenarioSpec::within(
+            row.kind, row.a_bits, row.w_bits, algo, vm, sigma);
+        cells.push_back(pct(bench.session.run(spec).mean_acc));
+        std::fflush(stdout);
+      }
+      table.add_row(std::move(cells));
     }
   }
   table.print();
@@ -85,9 +54,5 @@ int main() {
       "\nPaper (Table I, paper-scale models/datasets): QAVAT wins at every\n"
       "cell; PTQ-VAT collapses at W2; QAT collapses at high sigma, more so\n"
       "for A8W4 than A4W2.\n");
-  std::printf("\nMonte-Carlo evaluation wall time: %.2f s (chip batch %lld; "
-              "set QAVAT_CHIP_BATCH=1 for the sequential path)\n",
-              g_eval_seconds,
-              static_cast<long long>(default_eval_config(rows[0].kind).chip_batch));
   return 0;
 }

@@ -7,6 +7,7 @@ using namespace qavat;
 using namespace qavat::bench;
 
 int main() {
+  BenchHarness bench("bench_table2");
   const VarianceModel vm = VarianceModel::kWeightProportional;
   const double sigmas[] = {0.1, 0.3, 0.5};
 
@@ -14,35 +15,20 @@ int main() {
   std::printf("(A8W4, weight-proportional variance; mean accuracy %% over chips)\n\n");
 
   for (ModelKind kind : {ModelKind::kVGG11s, ModelKind::kResNet18s}) {
-    SplitDataset data = make_dataset_for(kind);
-    EvalConfig ecfg = default_eval_config(kind);
-    ModelConfig mcfg = default_model_config(kind, 8, 4);
-
     std::printf("%s\n", to_string(kind));
     TextTable table({"sigma_tot", "QAVAT", "QAVAT+ST", "QAVAT+WrongST"});
     for (double sigma : sigmas) {
-      const VariabilityConfig env = VariabilityConfig::mixed(vm, sigma);
-      TrainConfig tcfg = mixed_deploy_train_config(kind, vm, sigma);
-      auto trained = train_cached(kind, mcfg, TrainAlgo::kQAVAT, data, tcfg);
-      const std::string key_base =
-          std::string(to_string(kind)) + "_A8W4_t2_" + env_key(env);
+      const ScenarioSpec plain =
+          ScenarioSpec::mixed(kind, 8, 4, ScenarioAlgo::kQAVAT, vm, sigma);
+      ScenarioSpec tuned = plain;
+      tuned.with_selftune(proper_mode(vm), 1000);  // GTM-only for wp variance
+      ScenarioSpec wrong = plain;
+      wrong.with_selftune(wrong_mode(vm), 1000, 1);
 
-      SelfTuneConfig st;
-      st.mode = proper_mode(vm);  // GTM-only for weight-proportional
-      st.gtm_cells = 1000;
-      SelfTuneConfig wrong = st;
-      wrong.mode = wrong_mode(vm);
-      wrong.ltm_columns = 1;
-
-      const double acc_plain =
-          eval_mean(key_base + "_noST", *trained.model, data.test, env, ecfg);
-      const double acc_st = eval_mean(key_base + "_ST", *trained.model, data.test,
-                                      env, ecfg, &st);
-      const double acc_wrong = eval_mean(key_base + "_wrongST", *trained.model,
-                                         data.test, env, ecfg, &wrong);
-
-      table.add_row({TextTable::fmt(sigma, 1), pct(acc_plain), pct(acc_st),
-                     pct(acc_wrong)});
+      table.add_row({TextTable::fmt(sigma, 1),
+                     pct(bench.session.run(plain).mean_acc),
+                     pct(bench.session.run(tuned).mean_acc),
+                     pct(bench.session.run(wrong).mean_acc)});
       std::fflush(stdout);
     }
     table.print();

@@ -37,8 +37,9 @@ run_suite "${DEBUG_BUILD_DIR}" Debug
 # doxygen (markup parse, warnings as errors) or clang's -Wdocumentation
 # layer syntax checking on top when available. Nonzero exit on malformed
 # docs fails the build via set -e.
-DOC_HEADERS=(pim/chip.h pim/tiling.h eval/evaluator.h tensor/workspace.h
-             tensor/conv_ops.h tensor/ops.h)
+DOC_HEADERS=(pim/chip.h pim/tiling.h eval/evaluator.h eval/scenario.h
+             eval/store.h eval/runner.h tensor/workspace.h
+             tensor/conv_ops.h tensor/ops.h tensor/serialize.h)
 echo "== docs check =="
 DOC_TOOL_RAN=0
 if command -v python3 >/dev/null 2>&1; then
@@ -82,6 +83,39 @@ else
   exit 1
 fi
 
+# Artifact-store round-trip gate: one bench cold then warm against a
+# private store, for both evaluation backends. The warm run must (a) hit
+# the store for every model and Monte-Carlo result — zero training, zero
+# evaluations, asserted via the [qavat-session] stderr summary — and
+# (b) print byte-identical table output (stdout carries only the
+# deterministic numbers; provenance/timing goes to stderr).
+echo "== store round-trip (bench_table1 cold vs warm) =="
+STORE_TMP="$(mktemp -d)"
+trap 'rm -rf "${STORE_TMP}"' EXIT
+for backend in weight_domain circuit; do
+  for phase in cold warm; do
+    echo "-- ${backend} ${phase} --"
+    QAVAT_FAST=1 QAVAT_STORE_DIR="${STORE_TMP}/store" \
+      QAVAT_EVAL_BACKEND="${backend}" "${BUILD_DIR}/bench_table1" \
+      > "${STORE_TMP}/${backend}.${phase}.out" \
+      2> "${STORE_TMP}/${backend}.${phase}.err"
+  done
+  if ! cmp "${STORE_TMP}/${backend}.cold.out" \
+           "${STORE_TMP}/${backend}.warm.out"; then
+    echo "store gate: warm ${backend} stdout differs from cold" >&2
+    exit 1
+  fi
+  if ! grep -q ' trained=0 ' "${STORE_TMP}/${backend}.warm.err" ||
+     ! grep -q ' evals_computed=0 ' "${STORE_TMP}/${backend}.warm.err"; then
+    echo "store gate: warm ${backend} run retrained or re-evaluated:" >&2
+    grep '\[qavat-session\]' "${STORE_TMP}/${backend}.warm.err" >&2 || true
+    exit 1
+  fi
+done
+rm -rf "${STORE_TMP}"
+trap - EXIT
+echo "store round-trip: OK (both backends: warm = 0 trainings, byte-identical tables)"
+
 # Micro-bench perf record (Release only; skipped when google-benchmark was
 # not found). Writes the machine-readable BENCH_micro.json artifact and
 # runs the soft GMAC/s regression gate against ci/bench_baseline.json
@@ -106,4 +140,4 @@ else
   echo "bench_micro_smoke not built - skipping micro-bench record"
 fi
 
-echo "tier-1 verify: OK (Release + Debug + docs)"
+echo "tier-1 verify: OK (Release + Debug + docs + store round-trip)"

@@ -292,4 +292,79 @@ std::unique_ptr<Module> clone_model(Module& model) {
 
 std::vector<QuantLayerBase*> quant_layers(Module& m) { return m.quant_layers(); }
 
+StateDict module_state_dict(Module& m) {
+  StateDict sd;
+  const ModelConfig& c = m.config();
+  sd.add_scalar("kind", static_cast<double>(static_cast<int>(m.kind())));
+  sd.add_scalar("a_bits", static_cast<double>(c.a_bits));
+  sd.add_scalar("w_bits", static_cast<double>(c.w_bits));
+  sd.add_scalar("in_channels", static_cast<double>(c.in_channels));
+  sd.add_scalar("image_size", static_cast<double>(c.image_size));
+  sd.add_scalar("num_classes", static_cast<double>(c.num_classes));
+  sd.add_scalar("init_seed", static_cast<double>(c.init_seed));
+  const auto params = m.parameters();
+  sd.add_scalar("n_params", static_cast<double>(params.size()));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    sd.add_tensor("param." + std::to_string(i), params[i]->value);
+  }
+  const auto qs = m.quant_layers();
+  sd.add_scalar("n_qlayers", static_cast<double>(qs.size()));
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const std::string p = "q" + std::to_string(i);
+    sd.add_scalar(p + ".w_scale", static_cast<double>(qs[i]->weight_scale()));
+    sd.add_scalar(p + ".act_scale",
+                  static_cast<double>(qs[i]->act_quantizer().scale()));
+    sd.add_scalar(p + ".quant_on", qs[i]->quant_enabled() ? 1.0 : 0.0);
+  }
+  return sd;
+}
+
+bool load_module_state(Module& m, const StateDict& sd) {
+  const auto scalar_is = [&sd](const char* name, double want) {
+    const double* v = sd.find_scalar(name);
+    return v != nullptr && *v == want;
+  };
+  const ModelConfig& c = m.config();
+  if (!scalar_is("kind", static_cast<double>(static_cast<int>(m.kind()))) ||
+      !scalar_is("a_bits", static_cast<double>(c.a_bits)) ||
+      !scalar_is("w_bits", static_cast<double>(c.w_bits)) ||
+      !scalar_is("in_channels", static_cast<double>(c.in_channels)) ||
+      !scalar_is("image_size", static_cast<double>(c.image_size)) ||
+      !scalar_is("num_classes", static_cast<double>(c.num_classes)) ||
+      !scalar_is("init_seed", static_cast<double>(c.init_seed))) {
+    return false;
+  }
+  const auto params = m.parameters();
+  const auto qs = m.quant_layers();
+  if (!scalar_is("n_params", static_cast<double>(params.size())) ||
+      !scalar_is("n_qlayers", static_cast<double>(qs.size()))) {
+    return false;
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Tensor* t = sd.find_tensor("param." + std::to_string(i));
+    if (t == nullptr || t->shape() != params[i]->value.shape()) return false;
+  }
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const std::string p = "q" + std::to_string(i);
+    if (sd.find_scalar(p + ".w_scale") == nullptr ||
+        sd.find_scalar(p + ".act_scale") == nullptr ||
+        sd.find_scalar(p + ".quant_on") == nullptr) {
+      return false;
+    }
+  }
+  // All shapes validated; now mutate.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = *sd.find_tensor("param." + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const std::string p = "q" + std::to_string(i);
+    qs[i]->set_weight_scale(static_cast<float>(*sd.find_scalar(p + ".w_scale")));
+    qs[i]->act_quantizer().set_scale(
+        static_cast<float>(*sd.find_scalar(p + ".act_scale")));
+    qs[i]->set_quant_enabled(*sd.find_scalar(p + ".quant_on") != 0.0);
+  }
+  m.set_training(false);
+  return true;
+}
+
 }  // namespace qavat

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/quant/qlayers.h"
+#include "tensor/serialize.h"
 
 namespace qavat {
 
@@ -75,5 +76,18 @@ std::unique_ptr<Module> clone_model(Module& model);
 
 /// All quant layers in forward order (free-function form used by benches).
 std::vector<QuantLayerBase*> quant_layers(Module& m);
+
+/// Serializable snapshot of everything the experiment cache persists:
+/// parameter tensors, per-quant-layer weight/activation scales and quant
+/// gates, plus the model identity (kind + config scalars) used to
+/// validate a load. Pair with tensor/serialize.h to write it to disk.
+StateDict module_state_dict(Module& m);
+
+/// Restore a state dict into a model of the same kind and config.
+/// Returns false — leaving the model's parameters unspecified — when the
+/// identity scalars, parameter count or any tensor shape disagree (e.g. a
+/// stale artifact after a model-zoo change); callers fall back to
+/// retraining. Leaves the model in eval mode on success.
+bool load_module_state(Module& m, const StateDict& sd);
 
 }  // namespace qavat

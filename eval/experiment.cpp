@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "eval/store.h"
+
 namespace qavat {
 
 bool fast_mode() {
@@ -32,9 +34,58 @@ std::map<std::string, double>& result_cache() {
   return cache;
 }
 
+std::map<std::string, EvalStats>& eval_cache() {
+  static std::map<std::string, EvalStats> cache;
+  return cache;
+}
+
 std::map<std::string, ModelSnapshot>& model_cache() {
   static std::map<std::string, ModelSnapshot> cache;
   return cache;
+}
+
+index_t& training_runs_counter() {
+  static index_t runs = 0;
+  return runs;
+}
+
+// All cached training funnels through here so training_runs() counts
+// every phase — the observable the CI warm-store gate asserts is zero.
+TrainResult counted_train(Module& model, const Dataset& data, TrainAlgo algo,
+                          const TrainConfig& cfg) {
+  ++training_runs_counter();
+  return train(model, data, algo, cfg);
+}
+
+// Persist a trained model (plus its clean accuracy) under `key`;
+// fail-soft, the store warns once on unwritable paths.
+void persist_model(const std::string& key, Module& model, double clean_acc) {
+  StateDict sd = module_state_dict(model);
+  sd.add_scalar("clean_test_acc", clean_acc);
+  store_save_state("models", key, sd);
+}
+
+// Store probe for a trained model: returns the materialized Module (and
+// clean accuracy) on a valid artifact matching (kind, cfg), nullptr
+// otherwise — any mismatch or corruption reads as a miss and the caller
+// retrains (overwriting the bad artifact).
+struct LoadedModel {
+  std::unique_ptr<Module> model;
+  double clean_test_acc = 0.0;
+};
+
+LoadedModel load_model_from_store(const std::string& key, ModelKind kind,
+                                  const ModelConfig& cfg) {
+  LoadedModel out;
+  StateDict sd;
+  if (!store_load_state("models", key, &sd)) return out;
+  const double* acc = sd.find_scalar("clean_test_acc");
+  if (acc == nullptr) return out;
+  auto model = make_model(kind, cfg);
+  if (!load_module_state(*model, sd)) return out;
+  out.model = std::move(model);
+  out.clean_test_acc = *acc;
+  return out;
 }
 
 ModelSnapshot snapshot(Module& model, double clean_acc) {
@@ -98,21 +149,69 @@ double with_result_cache(const std::string& key,
   auto& cache = result_cache();
   auto it = cache.find(key);
   if (it != cache.end()) return it->second;
+  std::vector<double> persisted;
+  if (store_load_doubles("results", key, &persisted) && persisted.size() == 1) {
+    cache.emplace(key, persisted[0]);
+    return persisted[0];
+  }
   const double value = fn();
   cache.emplace(key, value);
+  store_save_doubles("results", key, {value});
   return value;
 }
 
-void clear_experiment_caches() {
-  result_cache().clear();
-  model_cache().clear();
+EvalStats with_eval_cache(const std::string& key,
+                          const std::function<EvalStats()>& fn,
+                          bool* computed) {
+  if (computed != nullptr) *computed = false;
+  auto& cache = eval_cache();
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  std::vector<double> per_chip;
+  if (store_load_doubles("evals", key, &per_chip)) {
+    // The per-chip vector is the persisted artifact; the summary stats
+    // recompute from the exact same doubles, so a warm hit is
+    // bit-identical to the cold EvalStats.
+    EvalStats stats;
+    stats.accuracy = Stats::from(per_chip);
+    stats.n_chips = static_cast<index_t>(per_chip.size());
+    stats.per_chip_acc = std::move(per_chip);
+    return cache.emplace(key, std::move(stats)).first->second;
+  }
+  EvalStats stats = fn();
+  if (computed != nullptr) *computed = true;
+  store_save_doubles("evals", key, stats.per_chip_acc);
+  return cache.emplace(key, std::move(stats)).first->second;
 }
+
+void clear_experiment_caches(bool drop_disk) {
+  result_cache().clear();
+  eval_cache().clear();
+  model_cache().clear();
+  if (drop_disk) store_drop_all();
+}
+
+index_t training_runs() { return training_runs_counter(); }
 
 TrainedModel train_cached(ModelKind kind, const ModelConfig& mcfg, TrainAlgo algo,
                           const SplitDataset& data, const TrainConfig& tcfg) {
   const std::string key = train_key(kind, mcfg, to_string(algo), data, tcfg);
   auto& cache = model_cache();
+  TrainedModel out;
   auto it = cache.find(key);
+  if (it == cache.end()) {
+    // Read-through: probe the disk store for the finished model before
+    // training anything. A hit returns the loaded model directly (the
+    // memory cache keeps a snapshot for later callers).
+    LoadedModel loaded = load_model_from_store(key, kind, mcfg);
+    if (loaded.model != nullptr) {
+      cache.emplace(key, snapshot(*loaded.model, loaded.clean_test_acc));
+      out.clean_test_acc = loaded.clean_test_acc;
+      out.model = std::move(loaded.model);
+      out.from_store = true;
+      return out;
+    }
+  }
   if (it == cache.end()) {
     // Phase 1: QAT pretraining, cached under its own (noise-free) key so
     // QAT and every QAVAT variant of the same workload share it.
@@ -120,30 +219,46 @@ TrainedModel train_cached(ModelKind kind, const ModelConfig& mcfg, TrainAlgo alg
     pre.train_noise = VariabilityConfig{};
     pre.n_variation_samples = 1;
     const std::string pre_key = train_key(kind, mcfg, "QAT", data, pre);
+    bool pre_from_store = false;
     auto pre_it = cache.find(pre_key);
     if (pre_it == cache.end()) {
-      auto model = make_model(kind, mcfg);
-      train(*model, data.train, TrainAlgo::kQAT, pre);
-      const double acc = evaluate_clean(*model, data.test);
-      pre_it = cache.emplace(pre_key, snapshot(*model, acc)).first;
+      LoadedModel pre_loaded = load_model_from_store(pre_key, kind, mcfg);
+      if (pre_loaded.model != nullptr) {
+        pre_from_store = true;
+        pre_it = cache
+                     .emplace(pre_key, snapshot(*pre_loaded.model,
+                                                pre_loaded.clean_test_acc))
+                     .first;
+      } else {
+        auto model = make_model(kind, mcfg);
+        counted_train(*model, data.train, TrainAlgo::kQAT, pre);
+        out.trained = true;
+        const double acc = evaluate_clean(*model, data.test);
+        pre_it = cache.emplace(pre_key, snapshot(*model, acc)).first;
+        persist_model(pre_key, *model, acc);
+      }
     }
     if (algo == TrainAlgo::kQAVAT && tcfg.train_noise.enabled()) {
       // Phase 2: noisy-forward fine-tuning from the pretrained weights.
       auto model = restore(pre_it->second);
       TrainConfig fine = tcfg;
       fine.lr = tcfg.lr * 0.5;
-      train(*model, data.train, TrainAlgo::kQAVAT, fine);
+      counted_train(*model, data.train, TrainAlgo::kQAVAT, fine);
+      out.trained = true;
       const double acc = evaluate_clean(*model, data.test);
       it = cache.emplace(key, snapshot(*model, acc)).first;
+      persist_model(key, *model, acc);
     } else {
       it = cache.find(key);
       if (it == cache.end()) {
-        // kQAVAT with no noise degenerates to the QAT phase.
+        // kQAVAT with no noise (and kQAT) degenerates to the QAT phase;
+        // the alias stays memory-only — a warm run re-reaches the
+        // pretrained artifact through pre_key without training.
         it = cache.emplace(key, pre_it->second).first;
+        out.from_store = pre_from_store;
       }
     }
   }
-  TrainedModel out;
   out.model = restore(it->second);
   out.clean_test_acc = it->second.clean_test_acc;
   return out;
@@ -154,25 +269,37 @@ TrainedModel train_ptq_vat_cached(ModelKind kind, const ModelConfig& mcfg,
                                   const TrainConfig& tcfg) {
   const std::string key = train_key(kind, mcfg, "PTQVAT", data, tcfg);
   auto& cache = model_cache();
+  TrainedModel out;
   auto it = cache.find(key);
+  if (it == cache.end()) {
+    LoadedModel loaded = load_model_from_store(key, kind, mcfg);
+    if (loaded.model != nullptr) {
+      cache.emplace(key, snapshot(*loaded.model, loaded.clean_test_acc));
+      out.clean_test_acc = loaded.clean_test_acc;
+      out.model = std::move(loaded.model);
+      out.from_store = true;
+      return out;
+    }
+  }
   if (it == cache.end()) {
     auto model = make_model(kind, mcfg);
     model->set_quant_enabled(false);
     // Same total budget as the two-phase recipe: float pretrain + float VAT.
     TrainConfig pre = tcfg;
     pre.train_noise = VariabilityConfig{};
-    train(*model, data.train, TrainAlgo::kQAT, pre);
+    counted_train(*model, data.train, TrainAlgo::kQAT, pre);
     TrainConfig vat = tcfg;
     vat.lr = tcfg.lr * 0.5;
-    train(*model, data.train, TrainAlgo::kQAVAT, vat);
+    counted_train(*model, data.train, TrainAlgo::kQAVAT, vat);
+    out.trained = true;
     // Post-training quantization: MMSE weight grids; activation scales
     // were calibrated (EMA) during the float training forwards.
     model->set_quant_enabled(true);
     for (QuantLayerBase* q : model->quant_layers()) q->refresh_weight_scale();
     const double acc = evaluate_clean(*model, data.test);
     it = cache.emplace(key, snapshot(*model, acc)).first;
+    persist_model(key, *model, acc);
   }
-  TrainedModel out;
   out.model = restore(it->second);
   out.clean_test_acc = it->second.clean_test_acc;
   return out;

@@ -3,6 +3,13 @@
 // and many tables reuse the same trained model), a result cache for
 // Monte-Carlo evaluations, and the QAVAT_FAST=1 switch that shrinks every
 // budget for smoke testing.
+//
+// Both caches are read-through layers over the on-disk artifact store
+// (eval/store.h): a miss probes the store before computing, and every
+// computed artifact is persisted, so a warm second run of any bench
+// loads its trained models and Monte-Carlo results bit-identically
+// instead of recomputing them. QAVAT_STORE=0 restores the old
+// in-process-only behavior.
 #pragma once
 
 #include <functional>
@@ -20,15 +27,35 @@ namespace qavat {
 /// environment: smaller datasets, fewer epochs, fewer Monte-Carlo chips.
 bool fast_mode();
 
-/// Memoize a scalar result under a descriptive space-free key.
+/// Memoize a scalar result under a descriptive space-free key
+/// (memory, then disk store, then fn()).
 double with_result_cache(const std::string& key,
                          const std::function<double()>& fn);
-/// Drop all cached results and models (mainly for tests).
-void clear_experiment_caches();
+
+/// Memoize a full Monte-Carlo evaluation under `key`: the per-chip
+/// accuracy vector persists (memory, then disk store) and the summary
+/// stats are recomputed from it, so a warm hit reproduces the cold
+/// EvalStats bit-identically. `*computed` (optional) reports whether fn
+/// actually ran.
+EvalStats with_eval_cache(const std::string& key,
+                          const std::function<EvalStats()>& fn,
+                          bool* computed = nullptr);
+
+/// Drop all cached results and models (mainly for tests). With
+/// `drop_disk`, also delete this schema's subtree of the on-disk store.
+void clear_experiment_caches(bool drop_disk = false);
+
+/// Number of train() invocations this process has executed through the
+/// cached training entry points (QAT pretraining, QAVAT fine-tuning and
+/// the PTQ-VAT phases each count once). A fully warm-store run stays at
+/// 0 — the property the CI cold/warm gate asserts.
+index_t training_runs();
 
 struct TrainedModel {
   std::unique_ptr<Module> model;
   double clean_test_acc = 0.0;
+  bool trained = false;     ///< this call ran at least one train() phase
+  bool from_store = false;  ///< requested model was loaded from disk
 };
 
 /// Train through the model cache with the paper's two-phase recipe: QAT

@@ -1,0 +1,94 @@
+#include "eval/runner.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace qavat {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TrainAlgo train_algo_for(ScenarioAlgo algo) {
+  return algo == ScenarioAlgo::kQAT ? TrainAlgo::kQAT : TrainAlgo::kQAVAT;
+}
+
+}  // namespace
+
+const SplitDataset& Session::dataset(ModelKind kind) {
+  auto it = datasets_.find(kind);
+  if (it == datasets_.end()) {
+    it = datasets_.emplace(kind, make_dataset_for(kind)).first;
+  }
+  return it->second;
+}
+
+TrainedModel Session::train_model(const ScenarioSpec& spec) {
+  const SplitDataset& data = dataset(spec.model);
+  const auto t0 = std::chrono::steady_clock::now();
+  TrainedModel tm =
+      spec.algo == ScenarioAlgo::kPTQVAT
+          ? train_ptq_vat_cached(spec.model, spec.model_cfg, data, spec.train)
+          : train_cached(spec.model, spec.model_cfg, train_algo_for(spec.algo),
+                         data, spec.train);
+  train_seconds_ += seconds_since(t0);
+  if (tm.trained) ++trained_;
+  if (tm.from_store) ++model_store_hits_;
+  return tm;
+}
+
+ScenarioResult Session::run(const ScenarioSpec& spec) {
+  ++scenarios_;
+  ScenarioResult r;
+  r.key = spec.key();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  TrainedModel tm = train_model(spec);
+  r.train_seconds = seconds_since(t0);
+  r.trained = tm.trained;
+  r.model_from_store = tm.from_store;
+  r.clean_acc = tm.clean_test_acc;
+
+  if (spec.deploy.enabled()) {
+    const SplitDataset& data = dataset(spec.model);
+    const SelfTuneConfig* st = spec.selftune_active() ? &spec.selftune : nullptr;
+    const auto t1 = std::chrono::steady_clock::now();
+    r.mc = with_eval_cache(
+        r.key,
+        [&] {
+          return evaluate_under_variability(*tm.model, data.test, spec.deploy,
+                                            spec.eval, st);
+        },
+        &r.eval_computed);
+    r.eval_seconds = seconds_since(t1);
+    eval_seconds_ += r.eval_seconds;
+    if (r.eval_computed) {
+      ++evals_computed_;
+    } else {
+      ++eval_cache_hits_;
+    }
+    r.mean_acc = r.mc.accuracy.mean;
+  } else {
+    // Clean-only scenario: the trained model's test accuracy is the
+    // result (already cached with the model snapshot).
+    r.mean_acc = r.clean_acc;
+  }
+  return r;
+}
+
+void Session::print_summary(const char* name) const {
+  std::fprintf(
+      stderr,
+      "[qavat-session] %s: scenarios=%lld trained=%lld model_store_hits=%lld "
+      "evals_computed=%lld eval_cache_hits=%lld train_s=%.2f eval_s=%.2f\n",
+      name, static_cast<long long>(scenarios_),
+      static_cast<long long>(trained_),
+      static_cast<long long>(model_store_hits_),
+      static_cast<long long>(evals_computed_),
+      static_cast<long long>(eval_cache_hits_), train_seconds_, eval_seconds_);
+}
+
+}  // namespace qavat

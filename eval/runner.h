@@ -1,0 +1,68 @@
+// Scenario runner: the one entry point benches use. A Session executes
+// declarative ScenarioSpecs — resolve the workload dataset (cached per
+// model kind), train through the store-backed model cache, Monte-Carlo
+// evaluate through the store-backed result cache — and returns a
+// ScenarioResult carrying the numbers plus provenance (what was actually
+// computed vs loaded) and timing. Deterministic: a warm session run
+// reproduces a cold run's numbers bit-identically (DESIGN.md §11), so
+// the provenance/timing channel is the only part that may differ —
+// benches print it to stderr, keeping stdout byte-stable.
+#pragma once
+
+#include <map>
+
+#include "eval/experiment.h"
+#include "eval/scenario.h"
+
+namespace qavat {
+
+/// Everything Session::run produces for one scenario: accuracies,
+/// Monte-Carlo stats, provenance and timing.
+struct ScenarioResult {
+  std::string key;          ///< the spec's canonical cache/store key
+  double clean_acc = 0.0;   ///< noise-free test accuracy of the model
+  double mean_acc = 0.0;    ///< mc.accuracy.mean, or clean_acc for a
+                            ///< clean-only spec (deploy noise disabled)
+  EvalStats mc;             ///< Monte-Carlo stats (n_chips 0 if clean-only)
+  bool trained = false;         ///< training actually ran during this call
+  bool model_from_store = false;  ///< model loaded from the disk store
+  bool eval_computed = false;   ///< MC eval ran (vs memory/store hit)
+  double train_seconds = 0.0;   ///< wall time in the training entry point
+  double eval_seconds = 0.0;    ///< wall time in the evaluation entry point
+};
+
+/// Executes ScenarioSpecs against process-wide caches and the artifact
+/// store, memoizing datasets per model kind and aggregating provenance
+/// counters across every run() — one Session per bench binary.
+class Session {
+ public:
+  /// Train (through the cache/store) and evaluate one scenario.
+  ScenarioResult run(const ScenarioSpec& spec);
+
+  /// Just the (cached/store-backed) trained model of a scenario, for
+  /// benches that drive a custom evaluation loop (drift, equivalence).
+  /// Counts toward the session's provenance totals.
+  TrainedModel train_model(const ScenarioSpec& spec);
+
+  /// The workload dataset for `kind` (fast-mode-sized), built once per
+  /// session.
+  const SplitDataset& dataset(ModelKind kind);
+
+  /// One machine-greppable provenance line on stderr, e.g.
+  /// `[qavat-session] bench: scenarios=30 trained=0 model_store_hits=30
+  /// evals_computed=0 eval_cache_hits=30 train_s=0.00 eval_s=0.00`.
+  /// The CI warm-store gate asserts `trained=0` and `evals_computed=0`.
+  void print_summary(const char* name) const;
+
+ private:
+  std::map<ModelKind, SplitDataset> datasets_;
+  index_t scenarios_ = 0;
+  index_t trained_ = 0;
+  index_t model_store_hits_ = 0;
+  index_t evals_computed_ = 0;
+  index_t eval_cache_hits_ = 0;
+  double train_seconds_ = 0.0;
+  double eval_seconds_ = 0.0;
+};
+
+}  // namespace qavat

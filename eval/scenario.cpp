@@ -1,0 +1,488 @@
+#include "eval/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "eval/experiment.h"
+#include "pim/tiling.h"
+
+namespace qavat {
+
+const char* to_string(ScenarioAlgo a) {
+  switch (a) {
+    case ScenarioAlgo::kPTQVAT: return "PTQVAT";
+    case ScenarioAlgo::kQAT: return "QAT";
+    case ScenarioAlgo::kQAVAT: return "QAVAT";
+  }
+  return "?";
+}
+
+namespace {
+
+// Canonical double formatting for keys: stable, short, no locale.
+std::string fmt_g(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+// Round-trip-exact double formatting for JSON.
+std::string fmt_exact(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string noise_token(const VariabilityConfig& v) {
+  if (!v.enabled()) return "off";
+  std::string s = v.model == VarianceModel::kWeightProportional ? "wp" : "lf";
+  s += "w" + fmt_g(v.sigma_w) + "b" + fmt_g(v.sigma_b);
+  return s;
+}
+
+const char* selftune_token(SelfTuneMode m) {
+  switch (m) {
+    case SelfTuneMode::kNone: return "none";
+    case SelfTuneMode::kGtm: return "gtm";
+    case SelfTuneMode::kGtmLtm: return "gtmltm";
+  }
+  return "?";
+}
+
+const char* variance_token(VarianceModel m) {
+  return m == VarianceModel::kWeightProportional ? "wp" : "lf";
+}
+
+std::string lld(index_t v) { return std::to_string(static_cast<long long>(v)); }
+
+// ---------------------------------------------------------------- JSON
+
+void json_kv(std::string& out, const char* k, const std::string& v,
+             bool quote, bool last = false) {
+  out += '"';
+  out += k;
+  out += "\":";
+  if (quote) out += '"';
+  out += v;
+  if (quote) out += '"';
+  if (!last) out += ',';
+}
+
+std::string noise_json(const VariabilityConfig& v) {
+  std::string o = "{";
+  json_kv(o, "model", variance_token(v.model), true);
+  json_kv(o, "sigma_w", fmt_exact(v.sigma_w), false);
+  json_kv(o, "sigma_b", fmt_exact(v.sigma_b), false, true);
+  o += '}';
+  return o;
+}
+
+// Minimal JSON value for the subset to_json() emits: objects, strings,
+// numbers, booleans. Numbers keep their source text so 64-bit integers
+// parse exactly (strtoll) instead of through a double.
+struct Jv {
+  enum Kind { kBool, kNum, kStr, kObj } kind = kNum;
+  bool b = false;
+  std::string text;  // number text or string value
+  std::map<std::string, Jv> obj;
+
+  const Jv* find(const char* name) const {
+    auto it = obj.find(name);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  double num() const { return std::strtod(text.c_str(), nullptr); }
+  long long inum() const { return std::strtoll(text.c_str(), nullptr, 10); }
+};
+
+void skip_ws(const char*& p) {
+  while (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r') ++p;
+}
+
+bool parse_string(const char*& p, std::string* out) {
+  if (*p != '"') return false;
+  ++p;
+  out->clear();
+  while (*p != '\0' && *p != '"') {
+    if (*p == '\\') return false;  // to_json never emits escapes
+    out->push_back(*p++);
+  }
+  if (*p != '"') return false;
+  ++p;
+  return true;
+}
+
+bool parse_value(const char*& p, Jv* out) {
+  skip_ws(p);
+  if (*p == '{') {
+    ++p;
+    out->kind = Jv::kObj;
+    skip_ws(p);
+    if (*p == '}') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      skip_ws(p);
+      std::string name;
+      if (!parse_string(p, &name)) return false;
+      skip_ws(p);
+      if (*p != ':') return false;
+      ++p;
+      Jv child;
+      if (!parse_value(p, &child)) return false;
+      out->obj.emplace(std::move(name), std::move(child));
+      skip_ws(p);
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == '}') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (*p == '"') {
+    out->kind = Jv::kStr;
+    return parse_string(p, &out->text);
+  }
+  if (std::strncmp(p, "true", 4) == 0) {
+    out->kind = Jv::kBool;
+    out->b = true;
+    p += 4;
+    return true;
+  }
+  if (std::strncmp(p, "false", 5) == 0) {
+    out->kind = Jv::kBool;
+    out->b = false;
+    p += 5;
+    return true;
+  }
+  const char* start = p;
+  while (*p == '-' || *p == '+' || *p == '.' || *p == 'e' || *p == 'E' ||
+         (*p >= '0' && *p <= '9')) {
+    ++p;
+  }
+  if (p == start) return false;
+  out->kind = Jv::kNum;
+  out->text.assign(start, static_cast<std::size_t>(p - start));
+  return true;
+}
+
+// Typed field readers: each returns false on a present-but-wrong-typed
+// field and leaves the destination untouched when the field is absent.
+bool read_num(const Jv& o, const char* name, double* dst) {
+  const Jv* v = o.find(name);
+  if (v == nullptr) return true;
+  if (v->kind != Jv::kNum) return false;
+  *dst = v->num();
+  return true;
+}
+
+bool read_index(const Jv& o, const char* name, index_t* dst) {
+  const Jv* v = o.find(name);
+  if (v == nullptr) return true;
+  if (v->kind != Jv::kNum) return false;
+  *dst = static_cast<index_t>(v->inum());
+  return true;
+}
+
+bool read_u64(const Jv& o, const char* name, std::uint64_t* dst) {
+  const Jv* v = o.find(name);
+  if (v == nullptr) return true;
+  if (v->kind != Jv::kNum) return false;
+  *dst = static_cast<std::uint64_t>(
+      std::strtoull(v->text.c_str(), nullptr, 10));
+  return true;
+}
+
+bool read_bool(const Jv& o, const char* name, bool* dst) {
+  const Jv* v = o.find(name);
+  if (v == nullptr) return true;
+  if (v->kind != Jv::kBool) return false;
+  *dst = v->b;
+  return true;
+}
+
+bool read_noise(const Jv& o, const char* name, VariabilityConfig* dst) {
+  const Jv* v = o.find(name);
+  if (v == nullptr) return true;
+  if (v->kind != Jv::kObj) return false;
+  const Jv* m = v->find("model");
+  if (m != nullptr) {
+    if (m->kind != Jv::kStr) return false;
+    if (m->text == "wp") {
+      dst->model = VarianceModel::kWeightProportional;
+    } else if (m->text == "lf") {
+      dst->model = VarianceModel::kLayerFixed;
+    } else {
+      return false;
+    }
+  }
+  return read_num(*v, "sigma_w", &dst->sigma_w) &&
+         read_num(*v, "sigma_b", &dst->sigma_b);
+}
+
+}  // namespace
+
+std::string ScenarioSpec::key() const {
+  std::string k = "v" + std::to_string(kScenarioSchemaVersion) + "_";
+  k += to_string(model);
+  k += "_A" + lld(model_cfg.a_bits) + "W" + lld(model_cfg.w_bits);
+  k += "_";
+  k += to_string(algo);
+  k += "_m[c" + lld(model_cfg.in_channels) + "s" + lld(model_cfg.image_size) +
+       "k" + lld(model_cfg.num_classes) + "i" +
+       std::to_string(model_cfg.init_seed) + "]";
+  k += "_tr[e" + lld(train.epochs) + "_lr" + fmt_g(train.lr) + "_bs" +
+       lld(train.batch_size) + "_n" + lld(train.n_variation_samples) + "_rp" +
+       (train.reparam ? "1" : "0") + "_su" +
+       (train.scale_update == ScaleUpdatePolicy::kPerEpoch ? "1" : "0") +
+       "_sd" + std::to_string(train.seed) + "_" + noise_token(train.train_noise) +
+       "]";
+  k += "_dp[" + noise_token(deploy) + "]";
+  if (selftune_active()) {
+    k += "_st[" + std::string(selftune_token(selftune.mode)) + "_g" +
+         lld(selftune.gtm_cells) + "_l" + lld(selftune.ltm_columns) + "]";
+  } else {
+    k += "_st[none]";
+  }
+  k += "_ev[c" + lld(eval.n_chips) + "_t" + lld(eval.max_test_samples) + "_s" +
+       std::to_string(eval.seed) + "_";
+  if (eval.backend == EvalBackend::kCircuit) {
+    // The tile grid changes which array each weight lands on and hence
+    // the noise realizations: the effective tile size is part of the
+    // result identity (resolved from the env default exactly like the
+    // evaluator does).
+    const index_t tile = eval.tile_size > 0 ? eval.tile_size
+                                            : tile_size_from_env();
+    k += "ckt" + lld(tile);
+  } else {
+    k += "wd";
+  }
+  k += "]";
+  k += fast ? "_fast" : "_full";
+  return k;
+}
+
+std::string ScenarioSpec::to_json() const {
+  std::string o = "{";
+  json_kv(o, "schema", std::to_string(kScenarioSchemaVersion), false);
+  json_kv(o, "model", to_string(model), true);
+  json_kv(o, "algo", to_string(algo), true);
+  json_kv(o, "fast", fast ? "true" : "false", false);
+  {
+    std::string m = "{";
+    json_kv(m, "a_bits", lld(model_cfg.a_bits), false);
+    json_kv(m, "w_bits", lld(model_cfg.w_bits), false);
+    json_kv(m, "in_channels", lld(model_cfg.in_channels), false);
+    json_kv(m, "image_size", lld(model_cfg.image_size), false);
+    json_kv(m, "num_classes", lld(model_cfg.num_classes), false);
+    json_kv(m, "init_seed", std::to_string(model_cfg.init_seed), false, true);
+    m += '}';
+    json_kv(o, "model_cfg", m, false);
+  }
+  {
+    std::string t = "{";
+    json_kv(t, "epochs", lld(train.epochs), false);
+    json_kv(t, "lr", fmt_exact(train.lr), false);
+    json_kv(t, "batch_size", lld(train.batch_size), false);
+    json_kv(t, "n_variation_samples", lld(train.n_variation_samples), false);
+    json_kv(t, "reparam", train.reparam ? "true" : "false", false);
+    json_kv(t, "scale_update",
+            train.scale_update == ScaleUpdatePolicy::kPerEpoch ? "per_epoch"
+                                                               : "init_only",
+            true);
+    json_kv(t, "seed", std::to_string(train.seed), false);
+    json_kv(t, "noise", noise_json(train.train_noise), false, true);
+    t += '}';
+    json_kv(o, "train", t, false);
+  }
+  json_kv(o, "deploy", noise_json(deploy), false);
+  {
+    std::string s = "{";
+    json_kv(s, "mode", selftune_token(selftune.mode), true);
+    json_kv(s, "gtm_cells", lld(selftune.gtm_cells), false);
+    json_kv(s, "ltm_columns", lld(selftune.ltm_columns), false, true);
+    s += '}';
+    json_kv(o, "selftune", s, false);
+  }
+  {
+    std::string e = "{";
+    json_kv(e, "n_chips", lld(eval.n_chips), false);
+    json_kv(e, "max_test_samples", lld(eval.max_test_samples), false);
+    json_kv(e, "batch_size", lld(eval.batch_size), false);
+    json_kv(e, "seed", std::to_string(eval.seed), false);
+    json_kv(e, "chip_batch", lld(eval.chip_batch), false);
+    json_kv(e, "backend",
+            eval.backend == EvalBackend::kCircuit ? "circuit" : "weight_domain",
+            true);
+    json_kv(e, "tile_size", lld(eval.tile_size), false, true);
+    e += '}';
+    json_kv(o, "eval", e, false, true);
+  }
+  o += '}';
+  return o;
+}
+
+bool ScenarioSpec::from_json(const std::string& text, ScenarioSpec* out) {
+  const char* p = text.c_str();
+  Jv root;
+  if (!parse_value(p, &root) || root.kind != Jv::kObj) return false;
+  skip_ws(p);
+  if (*p != '\0') return false;
+
+  ScenarioSpec s;
+  const Jv* schema = root.find("schema");
+  if (schema == nullptr || schema->kind != Jv::kNum ||
+      schema->inum() != kScenarioSchemaVersion) {
+    return false;
+  }
+  if (const Jv* m = root.find("model")) {
+    if (m->kind != Jv::kStr) return false;
+    if (m->text == "lenet5s") {
+      s.model = ModelKind::kLeNet5s;
+    } else if (m->text == "vgg11s") {
+      s.model = ModelKind::kVGG11s;
+    } else if (m->text == "resnet18s") {
+      s.model = ModelKind::kResNet18s;
+    } else {
+      return false;
+    }
+  }
+  if (const Jv* a = root.find("algo")) {
+    if (a->kind != Jv::kStr) return false;
+    if (a->text == "PTQVAT") {
+      s.algo = ScenarioAlgo::kPTQVAT;
+    } else if (a->text == "QAT") {
+      s.algo = ScenarioAlgo::kQAT;
+    } else if (a->text == "QAVAT") {
+      s.algo = ScenarioAlgo::kQAVAT;
+    } else {
+      return false;
+    }
+  }
+  if (!read_bool(root, "fast", &s.fast)) return false;
+  if (const Jv* m = root.find("model_cfg")) {
+    if (m->kind != Jv::kObj) return false;
+    if (!read_index(*m, "a_bits", &s.model_cfg.a_bits) ||
+        !read_index(*m, "w_bits", &s.model_cfg.w_bits) ||
+        !read_index(*m, "in_channels", &s.model_cfg.in_channels) ||
+        !read_index(*m, "image_size", &s.model_cfg.image_size) ||
+        !read_index(*m, "num_classes", &s.model_cfg.num_classes) ||
+        !read_u64(*m, "init_seed", &s.model_cfg.init_seed)) {
+      return false;
+    }
+  }
+  if (const Jv* t = root.find("train")) {
+    if (t->kind != Jv::kObj) return false;
+    if (!read_index(*t, "epochs", &s.train.epochs) ||
+        !read_num(*t, "lr", &s.train.lr) ||
+        !read_index(*t, "batch_size", &s.train.batch_size) ||
+        !read_index(*t, "n_variation_samples", &s.train.n_variation_samples) ||
+        !read_bool(*t, "reparam", &s.train.reparam) ||
+        !read_u64(*t, "seed", &s.train.seed) ||
+        !read_noise(*t, "noise", &s.train.train_noise)) {
+      return false;
+    }
+    if (const Jv* su = t->find("scale_update")) {
+      if (su->kind != Jv::kStr) return false;
+      if (su->text == "per_epoch") {
+        s.train.scale_update = ScaleUpdatePolicy::kPerEpoch;
+      } else if (su->text == "init_only") {
+        s.train.scale_update = ScaleUpdatePolicy::kInitOnly;
+      } else {
+        return false;
+      }
+    }
+  }
+  if (!read_noise(root, "deploy", &s.deploy)) return false;
+  if (const Jv* st = root.find("selftune")) {
+    if (st->kind != Jv::kObj) return false;
+    if (const Jv* m = st->find("mode")) {
+      if (m->kind != Jv::kStr) return false;
+      if (m->text == "none") {
+        s.selftune.mode = SelfTuneMode::kNone;
+      } else if (m->text == "gtm") {
+        s.selftune.mode = SelfTuneMode::kGtm;
+      } else if (m->text == "gtmltm") {
+        s.selftune.mode = SelfTuneMode::kGtmLtm;
+      } else {
+        return false;
+      }
+    }
+    if (!read_index(*st, "gtm_cells", &s.selftune.gtm_cells) ||
+        !read_index(*st, "ltm_columns", &s.selftune.ltm_columns)) {
+      return false;
+    }
+  }
+  if (const Jv* e = root.find("eval")) {
+    if (e->kind != Jv::kObj) return false;
+    if (!read_index(*e, "n_chips", &s.eval.n_chips) ||
+        !read_index(*e, "max_test_samples", &s.eval.max_test_samples) ||
+        !read_index(*e, "batch_size", &s.eval.batch_size) ||
+        !read_u64(*e, "seed", &s.eval.seed) ||
+        !read_index(*e, "chip_batch", &s.eval.chip_batch) ||
+        !read_index(*e, "tile_size", &s.eval.tile_size)) {
+      return false;
+    }
+    if (const Jv* b = e->find("backend")) {
+      if (b->kind != Jv::kStr) return false;
+      if (b->text == "weight_domain") {
+        s.eval.backend = EvalBackend::kWeightDomain;
+      } else if (b->text == "circuit") {
+        s.eval.backend = EvalBackend::kCircuit;
+      } else {
+        return false;
+      }
+    }
+  }
+  *out = std::move(s);
+  return true;
+}
+
+ScenarioSpec ScenarioSpec::base(ModelKind kind, index_t a_bits, index_t w_bits,
+                                ScenarioAlgo algo) {
+  ScenarioSpec s;
+  s.model = kind;
+  s.model_cfg = default_model_config(kind, a_bits, w_bits);
+  s.algo = algo;
+  s.train = default_train_config(kind);
+  s.eval = default_eval_config(kind);
+  s.fast = fast_mode();
+  return s;
+}
+
+ScenarioSpec ScenarioSpec::within(ModelKind kind, index_t a_bits,
+                                  index_t w_bits, ScenarioAlgo algo,
+                                  VarianceModel vm, double sigma) {
+  ScenarioSpec s = base(kind, a_bits, w_bits, algo);
+  s.deploy = VariabilityConfig::within_only(vm, sigma);
+  s.train.train_noise = VariabilityConfig::within_only(vm, sigma);
+  return s;
+}
+
+ScenarioSpec ScenarioSpec::mixed(ModelKind kind, index_t a_bits, index_t w_bits,
+                                 ScenarioAlgo algo, VarianceModel vm,
+                                 double sigma_tot) {
+  ScenarioSpec s = base(kind, a_bits, w_bits, algo);
+  s.deploy = VariabilityConfig::mixed(vm, sigma_tot);
+  // §III.B deployment recipe: train with the within component only.
+  s.train.train_noise =
+      VariabilityConfig::within_only(vm, sigma_tot / std::sqrt(2.0));
+  return s;
+}
+
+ScenarioSpec& ScenarioSpec::with_selftune(SelfTuneMode mode, index_t gtm_cells,
+                                          index_t ltm_columns) {
+  selftune.mode = mode;
+  selftune.gtm_cells = gtm_cells;
+  selftune.ltm_columns = ltm_columns;
+  return *this;
+}
+
+}  // namespace qavat

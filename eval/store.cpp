@@ -1,0 +1,202 @@
+#include "eval/store.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <unistd.h>
+
+#include "eval/experiment.h"  // fast_mode(): the budget namespace
+
+namespace qavat {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Results are tiny text files; this cap only guards against reading a
+// mislabeled giant file into memory.
+constexpr std::uintmax_t kMaxDoublesFileBytes = 1u << 24;
+
+std::string bucket_dir(const char* bucket) {
+  std::string dir = store_root();
+  dir += "/v" + std::to_string(kStoreSchemaVersion);
+  dir += fast_mode() ? "/fast/" : "/full/";
+  dir += bucket;
+  return dir;
+}
+
+std::string artifact_path(const char* bucket, const std::string& key) {
+  return bucket_dir(bucket) + "/" + store_key_filename(key);
+}
+
+void warn_write_failure(const std::string& path) {
+  static bool warned = false;
+  if (warned) return;
+  warned = true;
+  std::fprintf(stderr,
+               "qavat: artifact store write failed (%s); persistence is off "
+               "for the unwritable paths (set QAVAT_STORE=0 to silence)\n",
+               path.c_str());
+}
+
+// Publish `tmp` as `path` atomically; returns false (removing tmp) on
+// failure. rename(2) replaces an existing destination in one step.
+bool publish(const fs::path& tmp, const fs::path& path) {
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+// Temp-file path unique per process inside the destination directory
+// (rename is only atomic within a filesystem).
+fs::path tmp_path_for(const fs::path& path) {
+  std::ostringstream os;
+  os << path.string() << ".tmp." << ::getpid();
+  return os.str();
+}
+
+}  // namespace
+
+bool store_enabled() {
+  const char* v = std::getenv("QAVAT_STORE");
+  return v == nullptr || v[0] != '0';
+}
+
+std::string store_root() {
+  const char* v = std::getenv("QAVAT_STORE_DIR");
+  if (v != nullptr && v[0] != '\0') return v;
+  return "artifacts/store";
+}
+
+std::string store_key_filename(const std::string& key) {
+  // Keys are space-free by contract, but be defensive: map anything
+  // outside [A-Za-z0-9._[]-] to '-' so a key can never traverse
+  // directories, then cap the length (ext4 limit 255) with a stable
+  // FNV-1a suffix disambiguating the truncation.
+  std::string name;
+  name.reserve(key.size());
+  for (char c : key) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '[' || c == ']' || c == '-';
+    name.push_back(safe ? c : '-');
+  }
+  constexpr std::size_t kMaxName = 200;
+  if (name.size() > kMaxName || name != key) {
+    char suffix[24];
+    std::snprintf(suffix, sizeof(suffix), ".%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    if (name.size() > kMaxName) name.resize(kMaxName);
+    name += suffix;
+  }
+  return name;
+}
+
+bool store_load_doubles(const char* bucket, const std::string& key,
+                        std::vector<double>* out) {
+  if (!store_enabled()) return false;
+  const fs::path path = artifact_path(bucket, key);
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec || size > kMaxDoublesFileBytes) return false;
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string tag;
+  int version = 0;
+  std::size_t n = 0;
+  if (!(is >> tag >> version >> n) || tag != "qavat-doubles" ||
+      version != kStoreSchemaVersion || n > (1u << 20)) {
+    return false;
+  }
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> values[i])) return false;
+  }
+  *out = std::move(values);
+  return true;
+}
+
+bool store_save_doubles(const char* bucket, const std::string& key,
+                        const std::vector<double>& values) {
+  if (!store_enabled()) return false;
+  const fs::path path = artifact_path(bucket, key);
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  const fs::path tmp = tmp_path_for(path);
+  {
+    std::ofstream os(tmp);
+    if (!os) {
+      warn_write_failure(path.string());
+      return false;
+    }
+    os << "qavat-doubles " << kStoreSchemaVersion << " " << values.size()
+       << "\n";
+    char buf[40];
+    for (double v : values) {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      os << buf << "\n";
+    }
+    os.flush();
+    if (!os) {
+      warn_write_failure(path.string());
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  if (!publish(tmp, path)) {
+    warn_write_failure(path.string());
+    return false;
+  }
+  return true;
+}
+
+bool store_load_state(const char* bucket, const std::string& key,
+                      StateDict* out) {
+  if (!store_enabled()) return false;
+  std::ifstream is(artifact_path(bucket, key), std::ios::binary);
+  if (!is) return false;
+  return load_state_dict(is, out);
+}
+
+bool store_save_state(const char* bucket, const std::string& key,
+                      const StateDict& sd) {
+  if (!store_enabled()) return false;
+  const fs::path path = artifact_path(bucket, key);
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  const fs::path tmp = tmp_path_for(path);
+  {
+    std::ofstream os(tmp, std::ios::binary);
+    if (!os) {
+      warn_write_failure(path.string());
+      return false;
+    }
+    save_state_dict(os, sd);
+    os.flush();
+    if (!os) {
+      warn_write_failure(path.string());
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  if (!publish(tmp, path)) {
+    warn_write_failure(path.string());
+    return false;
+  }
+  return true;
+}
+
+void store_drop_all() {
+  std::error_code ec;
+  fs::remove_all(store_root() + "/v" + std::to_string(kStoreSchemaVersion),
+                 ec);
+}
+
+}  // namespace qavat

@@ -1,0 +1,71 @@
+// On-disk artifact store. Persists trained-model state dicts and
+// Monte-Carlo result vectors under schema-versioned, budget-namespaced
+// paths so bench binaries share work across processes: a warm second run
+// of any bench loads its models and results instead of recomputing them,
+// bit-identically (results round-trip through %.17g text, tensors
+// through exact binary — DESIGN.md §11).
+//
+// Layout: <root>/v<schema>/<fast|full>/<bucket>/<key file>, where root
+// is QAVAT_STORE_DIR (default "artifacts/store"), the schema directory
+// pins kStoreSchemaVersion, and fast/full mirrors QAVAT_FAST — so a
+// smoke-budget run can never collide with (or poison) full-budget
+// artifacts, whatever the key says. QAVAT_STORE=0 disables all
+// persistence. Writes go to a temp file in the destination directory and
+// are published with an atomic rename: concurrent writers race benignly
+// (last complete artifact wins) and readers never observe a partial
+// file. Every operation is fail-soft — a missing, truncated, corrupt or
+// unwritable artifact reads as a miss and the caller recomputes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/serialize.h"
+
+namespace qavat {
+
+/// Directory-layout schema version (the "v1" path component); bump
+/// together with any incompatible change to what the buckets hold.
+inline constexpr int kStoreSchemaVersion = 1;
+
+/// True unless QAVAT_STORE=0 (or any value whose first char is '0').
+/// Re-read from the environment on every call so tests can toggle it.
+bool store_enabled();
+
+/// Store root: QAVAT_STORE_DIR, or "artifacts/store" (relative to the
+/// working directory) when unset/empty.
+std::string store_root();
+
+/// Filename a key maps to inside a bucket: the key itself when it is
+/// filesystem-safe and short, otherwise a sanitized prefix plus an
+/// FNV-1a hash suffix (stable across processes).
+std::string store_key_filename(const std::string& key);
+
+/// Load a persisted double vector (results bucket). Returns false on
+/// disabled store, missing key or malformed file.
+bool store_load_doubles(const char* bucket, const std::string& key,
+                        std::vector<double>* out);
+
+/// Persist a double vector with round-trip-exact (%.17g) text encoding
+/// and an atomic rename. Returns false (after a once-per-process stderr
+/// warning) when the store is disabled or the write fails.
+bool store_save_doubles(const char* bucket, const std::string& key,
+                        const std::vector<double>& values);
+
+/// Load a persisted state dict (models bucket). Returns false on
+/// disabled store, missing key or malformed/corrupt file.
+bool store_load_state(const char* bucket, const std::string& key,
+                      StateDict* out);
+
+/// Persist a state dict (binary, checksummed) with an atomic rename.
+/// Returns false when the store is disabled or the write fails.
+bool store_save_state(const char* bucket, const std::string& key,
+                      const StateDict& sd);
+
+/// Delete every artifact under this schema's namespace
+/// (<root>/v<schema>/, both fast and full). Used by
+/// clear_experiment_caches(drop_disk=true); never touches anything
+/// outside the versioned subtree.
+void store_drop_all();
+
+}  // namespace qavat

@@ -1,0 +1,67 @@
+// Versioned binary serialization for tensors and model state. A
+// StateDict is an ordered bag of named tensors and named scalars — the
+// persistence unit the artifact store (eval/store.h) writes to disk so
+// trained models survive the process. The format carries a magic tag, a
+// schema version, an explicit payload size and a trailing FNV-1a
+// checksum: truncated, corrupted or future-versioned files fail load()
+// cleanly (return false) instead of crashing or yielding garbage, and
+// callers fall back to recomputation. Byte layout is native-endian
+// (artifacts are a cache, not an interchange format).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qavat {
+
+/// Format version written into every serialized artifact; bump on any
+/// layout change so stale files are rejected rather than misread.
+inline constexpr std::uint32_t kSerializeVersion = 1;
+
+/// FNV-1a 64-bit hash of a byte string — the envelope checksum, also
+/// reused by the artifact store for stable key-to-filename mapping.
+std::uint64_t fnv1a64(const std::string& bytes);
+
+/// Ordered collection of named tensors and named scalars — the
+/// serializable snapshot of a model (parameters, quantizer scales,
+/// metadata). Order is preserved on round-trip; names are unique by
+/// convention (lookup returns the first match).
+struct StateDict {
+  std::vector<std::pair<std::string, Tensor>> tensors;  ///< name -> tensor
+  std::vector<std::pair<std::string, double>> scalars;  ///< name -> scalar
+
+  /// Append a (copied) tensor entry.
+  void add_tensor(std::string name, const Tensor& t) {
+    tensors.emplace_back(std::move(name), t);
+  }
+  /// Append a scalar entry.
+  void add_scalar(std::string name, double v) {
+    scalars.emplace_back(std::move(name), v);
+  }
+  /// First tensor with this name, or nullptr.
+  const Tensor* find_tensor(const std::string& name) const;
+  /// First scalar with this name, or nullptr.
+  const double* find_scalar(const std::string& name) const;
+};
+
+/// Write one tensor (magic "QVTN" + version + payload + checksum).
+void save_tensor(std::ostream& os, const Tensor& t);
+
+/// Read a tensor written by save_tensor. Returns false — leaving *out
+/// untouched — on any malformed, truncated or version-mismatched input.
+bool load_tensor(std::istream& is, Tensor* out);
+
+/// Write a state dict (magic "QVSD" + version + payload + checksum).
+void save_state_dict(std::ostream& os, const StateDict& sd);
+
+/// Read a state dict written by save_state_dict. Returns false — leaving
+/// *out untouched — on any malformed, truncated or version-mismatched
+/// input (including a checksum mismatch anywhere in the payload).
+bool load_state_dict(std::istream& is, StateDict* out);
+
+}  // namespace qavat
