@@ -1,0 +1,131 @@
+// Int8-vs-float GEMM sweep. Times the float NT GEMM (tensor/ops.h)
+// against the s8 x s8 -> s32 integer kernels (tensor/int_ops.h) — both
+// the self-contained form (packs B per call, what a cold MVM pays) and
+// the prepacked form (what the int8 eval backend pays per forward once
+// its weight planes are cached) — across GoogLeNet-shaped problem sizes,
+// from the tall-skinny first-stage im2col through the square classifier
+// GEMM. Results merge into BENCH_micro.json (bench/bench_json.h) next to
+// the bench_micro_smoke kernels; ci/check_bench_regression.py gates the
+// int8 rows against ci/bench_baseline.json.
+//
+// This is a plain chrono-timed binary (no google-benchmark dependency)
+// so it always builds; run with QAVAT_BENCH_JSON=/path to redirect or
+// QAVAT_BENCH_JSON= (empty) to skip the file.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "tensor/int_ops.h"
+#include "tensor/ops.h"
+#include "tensor/parallel_for.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using qavat::index_t;
+
+// {m, k, n} = {im2col rows, fan-in, fan-out} of a GoogLeNet-ish layer at
+// 224x224: stem 7x7, early 3x3s, mid/late inception 3x3 branches, and
+// the 1024 -> 1000 classifier (batch 64).
+struct SweepShape {
+  index_t m, k, n;
+};
+const SweepShape kShapes[] = {
+    {12544, 147, 64},  // stem conv 7x7/2
+    {3136, 64, 64},    // conv2 reduce 1x1
+    {3136, 576, 192},  // conv2 3x3
+    {784, 192, 96},    // inception 3a reduce
+    {784, 864, 128},   // inception 3a 3x3
+    {196, 480, 192},   // inception 4a reduce
+    {49, 832, 256},    // inception 5a reduce
+    {64, 1024, 1000},  // classifier FC, batch 64
+};
+
+// Average wall-ms of fn(): one untimed warmup, then repeat until at
+// least `min_ms` total and 3 iterations.
+template <typename Fn>
+double bench_ms(Fn&& fn, double min_ms = 100.0) {
+  fn();
+  int iters = 0;
+  double total_ms = 0.0;
+  while (total_ms < min_ms || iters < 3) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    total_ms += std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    ++iters;
+  }
+  return total_ms / iters;
+}
+
+}  // namespace
+
+int main() {
+  using namespace qavat;
+  std::printf("gemm sweep: int8 kernel = %s, threads = %lld\n",
+              detail::int8_kernel_name(),
+              static_cast<long long>(num_threads()));
+
+  std::vector<bench::BenchEntry> entries;
+  for (const SweepShape& s : kShapes) {
+    const double gmac = static_cast<double>(s.m) * s.k * s.n / 1e9;
+    char tag[64];
+    std::snprintf(tag, sizeof(tag), "%lldx%lldx%lld",
+                  static_cast<long long>(s.m), static_cast<long long>(s.k),
+                  static_cast<long long>(s.n));
+
+    Rng rng(41);
+    Tensor a({s.m, s.k}), b({s.n, s.k});
+    fill_normal(a, rng);
+    fill_normal(b, rng);
+    Tensor c;
+    const double f32_ms =
+        bench_ms([&] { c = matmul_nt(a, b); });
+
+    // Integer operands: activation codes in [0, 255] stored biased
+    // (s8 = code - 128, the a8 mapping) and weight codes in [-127, 127].
+    std::vector<std::int8_t> ai(static_cast<std::size_t>(s.m * s.k));
+    std::vector<std::int8_t> bi(static_cast<std::size_t>(s.n * s.k));
+    Rng qrng(42);
+    for (auto& v : ai) v = static_cast<std::int8_t>(qrng.below(256) - 128);
+    for (auto& v : bi) v = static_cast<std::int8_t>(qrng.below(255) - 127);
+    std::vector<std::int32_t> ci(static_cast<std::size_t>(s.m * s.n));
+    const double s8_ms = bench_ms([&] {
+      gemm_s8s8_s32(ai.data(), bi.data(), ci.data(), s.m, s.k,
+                                 s.n);
+    });
+
+    std::vector<std::uint8_t> packed(static_cast<std::size_t>(
+        packed_b_s8_bytes(s.n, s.k)));
+    std::vector<std::int32_t> bsum(static_cast<std::size_t>(s.n));
+    pack_b_s8(bi.data(), s.n, s.k, packed.data(), bsum.data());
+    const double s8p_ms = bench_ms([&] {
+      gemm_s8s8_s32_prepacked(ai.data(), packed.data(),
+                                           bsum.data(), ci.data(), s.m, s.k,
+                                           s.n);
+    });
+
+    const char* kinds[] = {"gemm_f32", "gemm_s8", "gemm_s8_prepacked"};
+    const double times[] = {f32_ms, s8_ms, s8p_ms};
+    for (int v = 0; v < 3; ++v) {
+      bench::BenchEntry e;
+      e.name = std::string(kinds[v]) + "/" + tag;
+      e.wall_ms = times[v];
+      e.gmacs = times[v] > 0.0 ? gmac / (times[v] / 1e3) : 0.0;
+      entries.push_back(std::move(e));
+    }
+    std::printf(
+        "%-16s f32 %7.2f ms (%6.1f GMAC/s)  s8 %7.2f ms (%6.1f GMAC/s)  "
+        "s8-prepacked %7.2f ms (%6.1f GMAC/s)  speedup %.2fx\n",
+        tag, f32_ms, gmac / (f32_ms / 1e3), s8_ms, gmac / (s8_ms / 1e3),
+        s8p_ms, gmac / (s8p_ms / 1e3), f32_ms / s8p_ms);
+  }
+
+  return bench::write_bench_json_merged(bench::bench_json_path(), entries)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,114 @@
+// Shared writer for the machine-readable perf record BENCH_micro.json
+// (schema "qavat-bench-micro-v1"). More than one bench binary contributes
+// kernels to the same file (bench_micro_smoke owns the google-benchmark
+// suite, bench_gemm_sweep the int8-vs-float GEMM sweep), so the writer
+// merges: existing kernels with the same name are replaced, all others
+// are preserved in their original order, new names append. A file that
+// does not parse as the schema below is treated as absent and the record
+// starts fresh.
+//
+// The path comes from QAVAT_BENCH_JSON (empty value disables the file;
+// unset means "BENCH_micro.json" in the working directory), matching
+// ci/check_bench_regression.py which consumes the record.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/parallel_for.h"
+
+namespace qavat {
+namespace bench {
+
+struct BenchEntry {
+  std::string name;
+  double wall_ms = 0.0;
+  double gmacs = 0.0;  // GMAC/s, or Gelem/s for elementwise/copy kernels
+};
+
+/// Resolved output path: QAVAT_BENCH_JSON override, default
+/// "BENCH_micro.json"; an empty string means "do not write".
+inline std::string bench_json_path() {
+  const char* env = std::getenv("QAVAT_BENCH_JSON");
+  return env != nullptr ? std::string(env) : std::string("BENCH_micro.json");
+}
+
+/// Best-effort parse of an existing record written by this header (one
+/// kernel object per line). Anything that does not match is ignored; a
+/// missing or corrupt file yields an empty list.
+inline std::vector<BenchEntry> read_bench_json(const std::string& path) {
+  std::vector<BenchEntry> out;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return out;
+  char line[512];
+  bool schema_ok = false;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strstr(line, "\"qavat-bench-micro-v1\"") != nullptr) {
+      schema_ok = true;
+      continue;
+    }
+    char name[256];
+    double wall_ms = 0.0;
+    double gmacs = 0.0;
+    if (std::sscanf(line,
+                    " {\"name\": \"%255[^\"]\", \"wall_ms\": %lf, "
+                    "\"gmacs\": %lf",
+                    name, &wall_ms, &gmacs) == 3) {
+      BenchEntry e;
+      e.name = name;
+      e.wall_ms = wall_ms;
+      e.gmacs = gmacs;
+      out.push_back(std::move(e));
+    }
+  }
+  std::fclose(f);
+  if (!schema_ok) out.clear();  // unknown file: start the record fresh
+  return out;
+}
+
+/// Merge `entries` into the record at `path` (replace-by-name, preserve
+/// order, append new) and rewrite it. Returns false if the file cannot
+/// be written; an empty path is a silent no-op success.
+inline bool write_bench_json_merged(const std::string& path,
+                                    const std::vector<BenchEntry>& entries) {
+  if (path.empty()) return true;
+  std::vector<BenchEntry> merged = read_bench_json(path);
+  for (const BenchEntry& e : entries) {
+    bool replaced = false;
+    for (BenchEntry& m : merged) {
+      if (m.name == e.name) {
+        m = e;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) merged.push_back(e);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"qavat-bench-micro-v1\",\n");
+  std::fprintf(f, "  \"threads_default\": %lld,\n",
+               static_cast<long long>(num_threads()));
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const BenchEntry& e = merged[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"wall_ms\": %.6f, \"gmacs\": "
+                 "%.4f}%s\n",
+                 e.name.c_str(), e.wall_ms, e.gmacs,
+                 i + 1 < merged.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu kernels)\n", path.c_str(), merged.size());
+  return true;
+}
+
+}  // namespace bench
+}  // namespace qavat

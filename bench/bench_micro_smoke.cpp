@@ -13,9 +13,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "core/models/models.h"
 #include "core/quant/qlayers.h"
 #include "core/quant/quantizer.h"
@@ -123,6 +126,86 @@ void BM_MonteCarloEval(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * ecfg.n_chips * 128);
 }
 BENCHMARK(BM_MonteCarloEval)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Inference-only helper layers for the MLP acceptance pair below. The
+// model zoo is conv-first, where im2col bounds the eval wall clock; the
+// int8-vs-float acceptance wants a GEMM-bound network so the integer
+// kernel, not data movement, sets the ratio.
+class FlattenLayer : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override {
+    Tensor y = x;
+    const index_t n = x.dim(0);
+    y.reshape({n, x.size() / n});
+    return y;
+  }
+  Tensor backward(const Tensor&) override {
+    throw std::logic_error("FlattenLayer: inference-only");
+  }
+};
+
+class ReluLayer : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override {
+    Tensor y = x;
+    float* p = y.data();
+    const index_t n = y.size();
+    for (index_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+    return y;
+  }
+  Tensor backward(const Tensor&) override {
+    throw std::logic_error("ReluLayer: inference-only");
+  }
+};
+
+// 144 -> 1024 -> 1024 -> 10 a8/w8 MLP on the synth-digit images.
+std::unique_ptr<Module> make_int8_bench_mlp(Rng& rng) {
+  ModelConfig mcfg;
+  mcfg.a_bits = 8;
+  mcfg.w_bits = 8;
+  auto m = std::make_unique<Module>(ModelKind::kLeNet5s, mcfg);
+  m->add_layer(std::make_unique<FlattenLayer>());
+  m->add_layer(std::make_unique<QuantLinear>(144, 1024, 8, 8, rng));
+  m->add_layer(std::make_unique<ReluLayer>());
+  m->add_layer(std::make_unique<QuantLinear>(1024, 1024, 8, 8, rng));
+  m->add_layer(std::make_unique<ReluLayer>());
+  m->add_layer(std::make_unique<QuantLinear>(1024, 10, 8, 8, rng));
+  return m;
+}
+
+// Acceptance pair for the integer inference fast path (DESIGN.md §12):
+// the same GEMM-bound Monte-Carlo evaluation through the float
+// weight-domain backend (Arg 0) and the int8 backend (Arg 1). The int8
+// row must stay >= 2x faster than the float row on this config;
+// ci/bench_baseline.json records both.
+void BM_MlpMonteCarloEval(benchmark::State& state) {
+  SynthDigitsConfig dcfg;
+  dcfg.n_train = 16;
+  dcfg.n_test = 4096;
+  SplitDataset data = make_synth_digits(dcfg);
+  Rng rng(21);
+  auto model = make_int8_bench_mlp(rng);
+  for (QuantLayerBase* q : model->quant_layers()) {
+    q->refresh_weight_scale();
+    q->act_quantizer().set_scale(0.05f);
+  }
+  model->set_training(false);
+  const VariabilityConfig vcfg =
+      VariabilityConfig::mixed(VarianceModel::kWeightProportional, 0.3);
+  EvalConfig ecfg;
+  ecfg.n_chips = 2;
+  ecfg.max_test_samples = 4096;
+  ecfg.batch_size = 256;
+  ecfg.chip_batch = 2;
+  ecfg.backend =
+      state.range(0) == 1 ? EvalBackend::kInt8 : EvalBackend::kWeightDomain;
+  for (auto _ : state) {
+    EvalStats stats = evaluate_under_variability(*model, data.test, vcfg, ecfg);
+    benchmark::DoNotOptimize(stats.accuracy.mean);
+  }
+  state.SetItemsProcessed(state.iterations() * ecfg.n_chips * 4096);
+}
+BENCHMARK(BM_MlpMonteCarloEval)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_QuantizeDequantize(benchmark::State& state) {
   Rng rng(2);
@@ -340,28 +423,20 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
-  // Machine-readable perf record: QAVAT_BENCH_JSON overrides the output
-  // path; an empty value disables the file.
-  const char* path_env = std::getenv("QAVAT_BENCH_JSON");
-  const std::string path = path_env != nullptr ? path_env : "BENCH_micro.json";
-  if (path.empty()) return 0;
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_micro_smoke: cannot write %s\n", path.c_str());
-    return 1;
+  // Machine-readable perf record, merged so bench_gemm_sweep's kernels
+  // in the same file survive a re-run of this binary (bench/bench_json.h
+  // resolves QAVAT_BENCH_JSON and does the replace-by-name merge).
+  std::vector<qavat::bench::BenchEntry> entries;
+  entries.reserve(reporter.entries.size());
+  for (const auto& e : reporter.entries) {
+    qavat::bench::BenchEntry be;
+    be.name = e.name;
+    be.wall_ms = e.wall_ms;
+    be.gmacs = e.grate;
+    entries.push_back(std::move(be));
   }
-  std::fprintf(f, "{\n  \"schema\": \"qavat-bench-micro-v1\",\n");
-  std::fprintf(f, "  \"threads_default\": %lld,\n",
-               static_cast<long long>(qavat::num_threads()));
-  std::fprintf(f, "  \"kernels\": [\n");
-  for (std::size_t i = 0; i < reporter.entries.size(); ++i) {
-    const auto& e = reporter.entries[i];
-    std::fprintf(f, "    {\"name\": \"%s\", \"wall_ms\": %.6f, \"gmacs\": %.4f}%s\n",
-                 e.name.c_str(), e.wall_ms, e.grate,
-                 i + 1 < reporter.entries.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s (%zu kernels)\n", path.c_str(), reporter.entries.size());
-  return 0;
+  return qavat::bench::write_bench_json_merged(qavat::bench::bench_json_path(),
+                                               entries)
+             ? 0
+             : 1;
 }

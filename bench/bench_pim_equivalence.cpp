@@ -240,6 +240,75 @@ int main() {
     if (diff > tol) ++failures;
   }
 
+  // 6. Monte-Carlo eval through the int8 integer backend vs weight-domain,
+  // same trained LeNet-5s. Both backends draw the same per-chip
+  // realizations (shared Rng(seed, chip) identity); the integer path is
+  // exact on the noise-free quantization grid — per-chip accuracies must
+  // match bit-for-bit — and a per-chip max-scaled-grid approximation under
+  // injected variability, where each chip's accuracy must stay within a
+  // benched epsilon of the float weight-domain result.
+  std::printf("\nMonte-Carlo eval: int8 integer backend vs weight-domain:\n");
+  {
+    const ModelKind kind = ModelKind::kLeNet5s;
+    const ScenarioSpec spec = ScenarioSpec::mixed(
+        kind, 4, 2, ScenarioAlgo::kQAVAT, VarianceModel::kWeightProportional,
+        0.3);
+    TrainedModel tm = bench.session.train_model(spec);
+    const SplitDataset& data = bench.session.dataset(kind);
+    SelfTuneConfig st;
+    EvalConfig ecfg = spec.eval;
+    ecfg.n_chips = fast_mode() ? 8 : 16;
+
+    // Noise-free: the requant grid is the layer's own quantization grid,
+    // so the integer MVM is the exact sum and every chip classifies
+    // identically to the float weight-domain forward.
+    const VariabilityConfig off;
+    ecfg.backend = EvalBackend::kWeightDomain;
+    const EvalStats wd_clean =
+        evaluate_under_variability(*tm.model, data.test, off, ecfg, &st);
+    ecfg.backend = EvalBackend::kInt8;
+    const EvalStats i8_clean =
+        evaluate_under_variability(*tm.model, data.test, off, ecfg, &st);
+    const bool clean_match = wd_clean.per_chip_acc == i8_clean.per_chip_acc;
+    std::printf("  noise-free per-chip accuracies: %s\n",
+                clean_match ? "identical (exact requant grid)" : "MISMATCH");
+    if (!clean_match) ++failures;
+
+    // Under variability the effective weights move off the grid and the
+    // int8 planes re-quantize them at |w|max/127 per chip.
+    const VariabilityConfig vcfg = spec.deploy;
+    ecfg.backend = EvalBackend::kWeightDomain;
+    const EvalStats wd_stats =
+        evaluate_under_variability(*tm.model, data.test, vcfg, ecfg, &st);
+    ecfg.backend = EvalBackend::kInt8;
+    const EvalStats i8_stats =
+        evaluate_under_variability(*tm.model, data.test, vcfg, ecfg, &st);
+    TextTable i8_table({"backend", "mean acc %", "std %", "min %"});
+    i8_table.add_row({"weight-domain", pct(wd_stats.accuracy.mean),
+                      pct(wd_stats.accuracy.stddev),
+                      pct(wd_stats.accuracy.min)});
+    i8_table.add_row({"int8 integer", pct(i8_stats.accuracy.mean),
+                      pct(i8_stats.accuracy.stddev),
+                      pct(i8_stats.accuracy.min)});
+    i8_table.print();
+    double max_chip_diff = 0.0;
+    for (std::size_t c = 0; c < wd_stats.per_chip_acc.size(); ++c) {
+      max_chip_diff = std::max(
+          max_chip_diff,
+          std::fabs(i8_stats.per_chip_acc[c] - wd_stats.per_chip_acc[c]));
+    }
+    const double mean_diff =
+        std::fabs(i8_stats.accuracy.mean - wd_stats.accuracy.mean);
+    const double chip_tol = 0.05, mean_tol = 0.02;
+    std::printf("  max per-chip |diff| = %.3f (tolerance %.2f): %s\n",
+                max_chip_diff, chip_tol,
+                max_chip_diff <= chip_tol ? "OK" : "FAIL");
+    if (max_chip_diff > chip_tol) ++failures;
+    std::printf("  |mean diff| = %.3f (tolerance %.2f): %s\n", mean_diff,
+                mean_tol, mean_diff <= mean_tol ? "OK" : "FAIL");
+    if (mean_diff > mean_tol) ++failures;
+  }
+
   if (failures == 0) {
     std::printf("\nbench_pim_equivalence: all equivalence checks passed\n");
   } else {

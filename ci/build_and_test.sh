@@ -39,7 +39,8 @@ run_suite "${DEBUG_BUILD_DIR}" Debug
 # docs fails the build via set -e.
 DOC_HEADERS=(pim/chip.h pim/tiling.h eval/evaluator.h eval/scenario.h
              eval/store.h eval/runner.h tensor/workspace.h
-             tensor/conv_ops.h tensor/ops.h tensor/serialize.h)
+             tensor/conv_ops.h tensor/ops.h tensor/serialize.h
+             tensor/int_ops.h core/quant/int8_backend.h)
 echo "== docs check =="
 DOC_TOOL_RAN=0
 if command -v python3 >/dev/null 2>&1; then
@@ -84,15 +85,19 @@ else
 fi
 
 # Artifact-store round-trip gate: one bench cold then warm against a
-# private store, for both evaluation backends. The warm run must (a) hit
-# the store for every model and Monte-Carlo result — zero training, zero
-# evaluations, asserted via the [qavat-session] stderr summary — and
-# (b) print byte-identical table output (stdout carries only the
-# deterministic numbers; provenance/timing goes to stderr).
+# private store, for every evaluation backend (weight_domain, circuit,
+# int8). The warm run must (a) hit the store for every model and
+# Monte-Carlo result — zero training, zero evaluations, asserted via the
+# [qavat-session] stderr summary — and (b) print byte-identical table
+# output (stdout carries only the deterministic numbers;
+# provenance/timing goes to stderr). Train keys carry no backend token,
+# so the circuit and int8 cold runs reuse the weight_domain-trained
+# models from the shared store (trained=0 even cold); only their eval
+# results are new.
 echo "== store round-trip (bench_table1 cold vs warm) =="
 STORE_TMP="$(mktemp -d)"
 trap 'rm -rf "${STORE_TMP}"' EXIT
-for backend in weight_domain circuit; do
+for backend in weight_domain circuit int8; do
   for phase in cold warm; do
     echo "-- ${backend} ${phase} --"
     QAVAT_FAST=1 QAVAT_STORE_DIR="${STORE_TMP}/store" \
@@ -114,7 +119,7 @@ for backend in weight_domain circuit; do
 done
 rm -rf "${STORE_TMP}"
 trap - EXIT
-echo "store round-trip: OK (both backends: warm = 0 trainings, byte-identical tables)"
+echo "store round-trip: OK (all backends: warm = 0 trainings, byte-identical tables)"
 
 # Micro-bench perf record (Release only; skipped when google-benchmark was
 # not found). Writes the machine-readable BENCH_micro.json artifact and
@@ -122,22 +127,24 @@ echo "store round-trip: OK (both backends: warm = 0 trainings, byte-identical ta
 # (loud banner on >20% drop; fails the build only with
 # QAVAT_BENCH_STRICT=1, since shared CI hosts are noisy).
 ARTIFACT_DIR="${ARTIFACT_DIR:-${REPO_ROOT}/artifacts}"
+echo "== micro-bench (Release) =="
+rm -f "${BUILD_DIR}/BENCH_micro.json"  # fresh record (writers merge-by-name)
+(cd "${BUILD_DIR}" && QAVAT_BENCH_JSON=BENCH_micro.json ./bench_gemm_sweep)
 if [[ -x "${BUILD_DIR}/bench_micro_smoke" ]]; then
-  echo "== micro-bench (Release) =="
   (cd "${BUILD_DIR}" &&
    QAVAT_BENCH_JSON=BENCH_micro.json ./bench_micro_smoke \
      --benchmark_min_time=0.1 >/dev/null)
-  mkdir -p "${ARTIFACT_DIR}"
-  cp "${BUILD_DIR}/BENCH_micro.json" "${ARTIFACT_DIR}/BENCH_micro.json"
-  echo "archived ${ARTIFACT_DIR}/BENCH_micro.json"
-  if command -v python3 >/dev/null 2>&1; then
-    python3 "${REPO_ROOT}/ci/check_bench_regression.py" \
-      "${BUILD_DIR}/BENCH_micro.json" "${REPO_ROOT}/ci/bench_baseline.json"
-  else
-    echo "python3 not found - skipping bench regression check"
-  fi
 else
-  echo "bench_micro_smoke not built - skipping micro-bench record"
+  echo "bench_micro_smoke not built - google-benchmark kernels skipped"
+fi
+mkdir -p "${ARTIFACT_DIR}"
+cp "${BUILD_DIR}/BENCH_micro.json" "${ARTIFACT_DIR}/BENCH_micro.json"
+echo "archived ${ARTIFACT_DIR}/BENCH_micro.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "${REPO_ROOT}/ci/check_bench_regression.py" \
+    "${BUILD_DIR}/BENCH_micro.json" "${REPO_ROOT}/ci/bench_baseline.json"
+else
+  echo "python3 not found - skipping bench regression check"
 fi
 
 echo "tier-1 verify: OK (Release + Debug + docs + store round-trip)"

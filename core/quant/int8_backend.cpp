@@ -1,0 +1,166 @@
+#include "core/quant/int8_backend.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/int_ops.h"
+#include "tensor/parallel_for.h"
+
+namespace qavat {
+
+namespace {
+
+// Workspace slot ids under this backend's owner key. Both are byte images
+// aliased into float tensors (ceil(bytes/4) elements): activation s8
+// codes and the s32 GEMM accumulator.
+enum WsSlot { kWsXCodes = 0, kWsAcc = 1 };
+
+index_t float_elems_for_bytes(index_t bytes) { return (bytes + 3) / 4; }
+
+}  // namespace
+
+Int8Backend::Int8Backend(QuantLayerBase& layer, Workspace& ws)
+    : layer_(layer), ws_(ws) {}
+
+Int8Backend::~Int8Backend() { ws_.release(this); }
+
+void Int8Backend::mvm_into(const Tensor& x2d, Tensor& y) {
+  mvm_grouped_into(x2d, 1, false, y);
+}
+
+void Int8Backend::refresh_planes(index_t groups) {
+  const std::uint64_t rev = layer_.noise_state().revision;
+  const bool vnni = detail::int8_kernel_is_vnni();
+  if (rev == plane_revision_ && groups == plane_nb_ && vnni == plane_vnni_) {
+    return;  // same chip group and kernel mode — planes still valid
+  }
+  const index_t k = layer_.fan_in();
+  const index_t nout = layer_.fan_out();
+  const Tensor& weff = layer_.backend_effective_weight();
+  if (weff.ndim() != 2 || weff.dim(0) != groups * nout || weff.dim(1) != k) {
+    throw std::logic_error(
+        "Int8Backend: effective weight shape does not match " +
+        std::to_string(groups) + " chip groups (is chip_batch consistent?)");
+  }
+  // Exact grid: noise-free quantized weights ARE scale * small-int codes,
+  // so re-quantizing on the layer's own grid loses nothing. (Noise-free
+  // implies a single group — noise_batch() is 1 when inactive.) Any
+  // injected variability moves weights off the grid; then each chip slot
+  // gets a max-scaled grid with the full s8 range.
+  const NoiseState& ns = layer_.noise_state();
+  planes_exact_ = !ns.active && layer_.quant_enabled() &&
+                  layer_.weight_scale() > 0.0f && layer_.weight_bits() <= 8;
+  const index_t plane_bytes = packed_b_s8_bytes(nout, k);
+  planes_.resize(static_cast<std::size_t>(groups * plane_bytes));
+  wsums_.resize(static_cast<std::size_t>(groups * nout));
+  dequant_.resize(static_cast<std::size_t>(groups));
+  codes_.resize(static_cast<std::size_t>(nout * k));
+  const index_t wsize = nout * k;
+  for (index_t g = 0; g < groups; ++g) {
+    const float* wg = weff.data() + g * wsize;
+    double scale_g;
+    std::int32_t qmax;
+    if (planes_exact_) {
+      scale_g = static_cast<double>(layer_.weight_scale());
+      qmax = static_cast<std::int32_t>(signed_qmax(layer_.weight_bits()));
+    } else {
+      float wmax = 0.0f;
+      for (index_t i = 0; i < wsize; ++i) wmax = std::max(wmax, std::fabs(wg[i]));
+      scale_g = w_unit_from_max(wmax) / 127.0;
+      qmax = 127;
+    }
+    quantize_to_s8(wg, wsize, static_cast<float>(1.0 / scale_g), 0, -qmax, qmax,
+                   codes_.data());
+    pack_b_s8(codes_.data(), nout, k, planes_.data() + g * plane_bytes,
+              wsums_.data() + g * nout);
+    dequant_[static_cast<std::size_t>(g)] = scale_g;
+  }
+  plane_revision_ = rev;
+  plane_nb_ = groups;
+  plane_vnni_ = vnni;
+}
+
+void Int8Backend::mvm_grouped_into(const Tensor& x2d, index_t groups,
+                                   bool shared, Tensor& y) {
+  const index_t k = layer_.fan_in();
+  const index_t nout = layer_.fan_out();
+  if (x2d.ndim() != 2 || x2d.dim(1) != k) {
+    throw std::invalid_argument("Int8Backend: input must be {rows, fan_in}");
+  }
+  if (groups < 1 || (!shared && x2d.dim(0) % groups != 0)) {
+    throw std::invalid_argument(
+        "Int8Backend: rows not divisible by chip groups");
+  }
+  if (layer_.act_bits() > 8) {
+    throw std::logic_error(
+        "Int8Backend: activation bits > 8 cannot ride the s8 path");
+  }
+  const float a_scale = layer_.act_quantizer().scale();
+  if (!layer_.quant_enabled() || a_scale <= 0.0f) {
+    throw std::logic_error(
+        "Int8Backend: layer must be quantized with a calibrated activation "
+        "scale (train or set scales before installing the int8 backend)");
+  }
+  refresh_planes(groups);
+
+  const index_t rows = x2d.dim(0);            // rows of the given block
+  const index_t rows_per = shared ? rows : rows / groups;
+  const index_t out_rows = groups * rows_per;
+  y.resize_for_overwrite({out_rows, nout});
+
+  // Activation codes: clamp(nearbyint(x / scale)) in [0, qmax_a] — the
+  // same code whether x arrives raw (wants_raw_activations skips the
+  // layer's float grid pass) or already grid-quantized; 8-bit codes are
+  // biased by -128 into s8 and the bias folded back below via the plane
+  // row sums. (The s32 accumulator is exact as long as
+  // 128 * 127 * fan_in < 2^31 — fan_in <= 131072, far above any layer
+  // here.)
+  const std::int32_t zp = layer_.act_bits() == 8 ? 128 : 0;
+  const std::int32_t qmax_a =
+      static_cast<std::int32_t>(unsigned_qmax(layer_.act_bits()));
+  Tensor& xc_t =
+      ws_.acquire(this, kWsXCodes, {float_elems_for_bytes(rows * k)});
+  std::int8_t* xc = reinterpret_cast<std::int8_t*>(xc_t.data());
+  quantize_to_s8(x2d.data(), rows * k, 1.0f / a_scale, -zp, -zp, qmax_a - zp,
+                 xc);
+
+  // One prepacked integer GEMM per chip slot (serial over slots; each
+  // GEMM row-partitions internally). The accumulator aliases a float
+  // workspace slot of identical byte size.
+  Tensor& acc_t = ws_.acquire(this, kWsAcc, {out_rows, nout});
+  std::int32_t* acc = reinterpret_cast<std::int32_t*>(acc_t.data());
+  const index_t plane_bytes = packed_b_s8_bytes(nout, k);
+  for (index_t g = 0; g < groups; ++g) {
+    const std::int8_t* ag = shared ? xc : xc + g * rows_per * k;
+    gemm_s8s8_s32_prepacked(ag, planes_.data() + g * plane_bytes,
+                            wsums_.data() + g * nout, acc + g * rows_per * nout,
+                            rows_per, k, nout);
+  }
+
+  // Dequantize epilogue: y = (acc + zp * wsum[j]) * (a_scale * w_lsb_g).
+  // Double arithmetic — the shifted accumulator can exceed the float
+  // mantissa. Pure elementwise, thread-count deterministic.
+  // Row-wise so the inner loop is contiguous and division-free (each row
+  // is written by exactly one thread: bit-identical for any QAVAT_THREADS).
+  const std::int32_t* wsums = wsums_.data();
+  const double* dq = dequant_.data();
+  const double a_scale_d = static_cast<double>(a_scale);
+  const double zp_d = static_cast<double>(zp);
+  float* py = y.data();
+  parallel_for(0, out_rows, 1, [=](index_t r0, index_t r1) {
+    for (index_t row = r0; row < r1; ++row) {
+      const index_t g = row / rows_per;
+      const std::int32_t* wrow = wsums + g * nout;
+      const std::int32_t* arow = acc + row * nout;
+      float* yrow = py + row * nout;
+      const double f = a_scale_d * dq[g];
+      for (index_t j = 0; j < nout; ++j) {
+        yrow[j] = static_cast<float>(
+            (static_cast<double>(arow[j]) + zp_d * wrow[j]) * f);
+      }
+    }
+  });
+}
+
+}  // namespace qavat

@@ -1,0 +1,93 @@
+// Integer inference backend (QAVAT_EVAL_BACKEND=int8, DESIGN.md §12): an
+// AnalogBackend that re-quantizes each chip realization's effective
+// weights into packed int8 planes once per NoiseState revision, then runs
+// every MVM as s8 x s8 -> s32 (tensor/int_ops.h) with a single float
+// dequantize epilogue — replacing the float NT GEMM of the weight-domain
+// path. Activation codes are derived directly from the layer's raw
+// activations (wants_raw_activations — identical codes to quantizing the
+// float grid first, one tensor pass cheaper); 8-bit activations are
+// biased to signed range with a zero-point of 128, folded back via the
+// packed planes' per-row weight-code sums.
+//
+// The weight requant grid is the layer's own quantization grid (exact,
+// noise-free case: code = grid integer) or a per-chip max-scaled grid
+// (|w|max / 127) when injected variability pushes weights off the grid —
+// the backend is then an approximation whose accuracy impact is gated by
+// bench_pim_equivalence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quant/qlayers.h"
+
+namespace qavat {
+
+/// Per-layer integer MVM route, installed by the evaluator for
+/// QAVAT_EVAL_BACKEND=int8. Supports grouped (noise-batched) forwards:
+/// one packed weight plane per chip slot, rebuilt only when the layer's
+/// NoiseState revision, the group count or the active int8 kernel mode
+/// changes — so all test batches of one chip group reuse the planes.
+/// Plane caches are members (steady-size, zero-alloc across chips); only
+/// per-call activation-code and accumulator scratch lives in the shared
+/// Workspace. Like every AnalogBackend: inference-only, driven from one
+/// thread, bit-identical for any QAVAT_THREADS (integer accumulation is
+/// associative).
+class Int8Backend : public AnalogBackend {
+ public:
+  /// Bind to `layer` (whose effective weights and activation grid drive
+  /// the integer pipeline) and `ws` for per-call scratch. The layer must
+  /// be quantized (quant enabled, calibrated activation scale, act bits
+  /// <= 8) by the time the first MVM runs — checked per call, throwing
+  /// std::logic_error otherwise. Both references must outlive the backend.
+  Int8Backend(QuantLayerBase& layer, Workspace& ws);
+
+  /// Releases this backend's scratch slots from the workspace.
+  ~Int8Backend() override;
+
+  Int8Backend(const Int8Backend&) = delete;
+  Int8Backend& operator=(const Int8Backend&) = delete;
+
+  /// Single-chip MVM: grouped form with one group.
+  void mvm_into(const Tensor& x2d, Tensor& y) override;
+
+  /// Grouped MVM per the AnalogBackend contract: quantize the activation
+  /// block to s8 codes, one prepacked integer GEMM per chip slot against
+  /// that slot's cached plane, then dequantize (activation scale x slot
+  /// weight scale, zero-point folded via the plane row sums) into `y`.
+  void mvm_grouped_into(const Tensor& x2d, index_t groups, bool shared,
+                        Tensor& y) override;
+
+  /// The integer path derives activation codes with the same
+  /// clamp(nearbyint(x / scale)) the float quantizer uses, so raw and
+  /// grid-quantized activations yield identical codes — the layer skips
+  /// its float activation pass while this backend is installed.
+  bool wants_raw_activations() const override { return true; }
+
+  /// True when the currently cached planes were built on the exact
+  /// quantization grid (noise-free path) rather than the per-chip
+  /// max-scaled grid. Meaningful after the first MVM; for tests.
+  bool planes_exact_grid() const { return planes_exact_; }
+
+ private:
+  /// Rebuild the per-slot packed planes, row-code sums and dequant scales
+  /// from the layer's current effective weights if the cache key
+  /// (revision, groups, kernel mode) moved; no-op otherwise.
+  void refresh_planes(index_t groups);
+
+  QuantLayerBase& layer_;
+  Workspace& ws_;
+
+  // Plane cache (cross-forward state — members per the Workspace lifetime
+  // contract; trim() may evict any slot between layer calls).
+  std::vector<std::uint8_t> planes_;   // groups * packed_b_s8_bytes(nout, k)
+  std::vector<std::int32_t> wsums_;    // groups * fan_out weight-code row sums
+  std::vector<double> dequant_;        // per-slot weight LSB (weight units)
+  std::vector<std::int8_t> codes_;     // slot requant scratch {fan_out * k}
+  std::uint64_t plane_revision_ = ~std::uint64_t{0};
+  index_t plane_nb_ = 0;
+  bool plane_vnni_ = false;
+  bool planes_exact_ = false;
+};
+
+}  // namespace qavat

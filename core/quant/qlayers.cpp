@@ -63,6 +63,24 @@ std::vector<float> tile_row_sums(const std::vector<float>& sums, index_t nb) {
 
 }  // namespace
 
+void AnalogBackend::mvm_grouped_into(const Tensor& x2d, index_t groups,
+                                     bool shared, Tensor& y) {
+  if (groups == 1 && !shared) {
+    mvm_into(x2d, y);
+    return;
+  }
+  throw std::logic_error(
+      "AnalogBackend: this backend is single-chip (chip_batch 1)");
+}
+
+const Tensor& QuantLayerBase::backend_effective_weight() {
+  if (training_) {
+    throw std::logic_error("backend_effective_weight: inference-only");
+  }
+  compute_effective_weight();
+  return weff_;
+}
+
 QuantLayerBase::QuantLayerBase(index_t fan_in, index_t fan_out, index_t a_bits,
                                index_t w_bits)
     : fan_in_(fan_in),
@@ -209,15 +227,17 @@ void QuantLayerBase::quantize_forward_input(const Tensor& x, index_t nb,
 void QuantLayerBase::analog_matmul_into(const Tensor& a2d, index_t nb,
                                         bool shared, Tensor& y) const {
   if (analog_backend_ != nullptr) {
-    // Circuit-level route: the backend owns the programmed weights (the
-    // pim/ crossbar tiles); noise lives in its conductances, not in
-    // weff_. Single-chip only — the per-chip programming cost of the
-    // batched axis would dwarf the GEMM win.
+    // Backend route: the backend owns the programmed weights (crossbar
+    // tile conductances for pim/, cached int8 planes for the integer
+    // path). Grouped (noise-batched) forwards go through
+    // mvm_grouped_into, whose default rejects groups — the circuit
+    // backend stays single-chip because per-chip tile programming would
+    // dwarf the GEMM win, while the int8 backend overrides it.
     if (nb > 1) {
-      throw std::logic_error(
-          "analog_matmul_into: analog backend is single-chip (chip_batch 1)");
+      analog_backend_->mvm_grouped_into(a2d, nb, shared, y);
+    } else {
+      analog_backend_->mvm_into(a2d, y);
     }
-    analog_backend_->mvm_into(a2d, y);
   } else if (nb <= 1) {
     matmul_nt_into(a2d, weff_, y);
   } else if (shared) {
@@ -316,11 +336,26 @@ Tensor QuantLinear::forward(const Tensor& x) {
   assert(x.ndim() == 2 && x.dim(1) == fan_in_);
   const index_t nb = noise_batch();
   const bool shared = batched_input_shared(x, nb, "QuantLinear::forward");
-  quantize_forward_input(x, nb, shared, xq_);
+  const Tensor* xin = &xq_;
+  if (backend_takes_raw()) {
+    // The backend derives the integer codes from raw activations itself
+    // (identical codes — same nearbyint + clamp); skip the grid pass.
+    if (shared) {
+      std::vector<index_t> block_shape = x.shape();
+      block_shape[0] /= nb;
+      Tensor& x0 = ws_->acquire(this, kWsBlock, std::move(block_shape));
+      first_chip_block(x, nb, x0);
+      xin = &x0;
+    } else {
+      xin = &x;
+    }
+  } else {
+    quantize_forward_input(x, nb, shared, xq_);
+  }
   // The circuit backend owns the programmed weights; weff_ is unused.
   if (analog_backend_ == nullptr) compute_effective_weight();
   Tensor y;
-  analog_matmul_into(xq_, nb, shared, y);
+  analog_matmul_into(*xin, nb, shared, y);
   float* py = y.data();
   const float* pb = bias_.value.data();
   for (index_t n = 0; n < y.dim(0); ++n) {
@@ -397,7 +432,8 @@ Tensor QuantConv2d::forward(const Tensor& x) {
     Tensor& xq = ws_->acquire(this, kWsXq, x.shape());
     quantize_input(x, xq);
     im2col(xq, geom, cols_);
-  } else if (quant_enabled_ && act_quant_.calibrated()) {
+  } else if (quant_enabled_ && act_quant_.calibrated() &&
+             !backend_takes_raw()) {
     if (stride_ >= kernel_) {
       // Non-overlapping windows: each input element is gathered at most
       // once, so fusing the quantizer into the gather saves a whole
@@ -417,7 +453,9 @@ Tensor QuantConv2d::forward(const Tensor& x) {
       im2col(xq, geom, cols_);
     }
   } else {
-    im2col(x, geom, cols_);  // identity quantizer: gather straight from x
+    // Identity quantizer, or a backend that re-derives the codes from raw
+    // activations (backend_takes_raw): gather straight from x.
+    im2col(x, geom, cols_);
   }
   // The circuit backend owns the programmed weights; weff_ is unused.
   if (analog_backend_ == nullptr) compute_effective_weight();

@@ -92,12 +92,32 @@ class QuantLayerBase;
 /// implementations write {rows, fan_out} into `y` (resizing it without
 /// zero-fill) and must be deterministic and bit-identical for any
 /// QAVAT_THREADS. Inference-only: installing a backend makes backward()
-/// and noise-batched forwards throw. Not required to be thread-safe
-/// across concurrent calls; the evaluator drives it from one thread.
+/// throw, and noise-batched forwards throw unless the backend overrides
+/// mvm_grouped_into (the int8 backend does; the circuit backend stays
+/// single-chip). Not required to be thread-safe across concurrent calls;
+/// the evaluator drives it from one thread.
 class AnalogBackend {
  public:
   virtual ~AnalogBackend() = default;
   virtual void mvm_into(const Tensor& x2d, Tensor& y) = 0;
+  /// Noise-batched MVM over `groups` chip-major groups, mirroring the
+  /// grouped weight-domain GEMMs: with `shared` false, `x2d` is
+  /// {groups * rows, fan_in} and group g multiplies against chip slot g's
+  /// effective weights; with `shared` true, `x2d` is one {rows, fan_in}
+  /// block broadcast to every group. `y` becomes {groups * rows, fan_out},
+  /// chip-major, bit-identical to `groups` single-chip calls. The default
+  /// delegates groups == 1 to mvm_into and throws std::logic_error
+  /// otherwise (single-chip backends need no override).
+  virtual void mvm_grouped_into(const Tensor& x2d, index_t groups, bool shared,
+                                Tensor& y);
+  /// Return true when this backend derives the activation codes itself
+  /// from RAW (pre-quantizer) activations — clamp(nearbyint(x / scale))
+  /// yields the same integer code whether x is raw or already on the
+  /// activation grid, so the layer skips its float quantize-dequantize
+  /// pass entirely (one full tensor pass saved per forward, bit-identical
+  /// outputs). Backends that consume the activation VALUES (the circuit
+  /// simulator's DAC path) keep the default false and receive grid floats.
+  virtual bool wants_raw_activations() const { return false; }
 };
 
 /// Abstract layer: forward caches what backward needs; backward returns
@@ -170,13 +190,24 @@ class QuantLayerBase : public Layer {
   void set_workspace(Workspace* ws) override { ws_ = ws ? ws : &local_ws_; }
 
   /// Route this layer's analog MVM through `backend` (nullptr restores
-  /// the weight-domain path). Inference-only and single-chip: while a
-  /// backend is installed, backward() and noise-batched (batch > 1)
-  /// forwards throw std::logic_error. The backend must outlive the
-  /// installation; the evaluator installs per simulated chip and
-  /// uninstalls before the chip is torn down.
+  /// the weight-domain path). Inference-only: while a backend is
+  /// installed, backward() throws std::logic_error, and noise-batched
+  /// (batch > 1) forwards are routed to mvm_grouped_into — which itself
+  /// throws unless the backend supports grouping. The backend must
+  /// outlive the installation; the evaluator uninstalls before backends
+  /// are torn down.
   void set_analog_backend(AnalogBackend* backend) { analog_backend_ = backend; }
   AnalogBackend* analog_backend() const { return analog_backend_; }
+
+  /// The effective weights an installed AnalogBackend should program:
+  /// runs compute_effective_weight() and exposes the result —
+  /// {noise_batch() * fan_out, fan_in} stacked chip blocks when noise is
+  /// batched (NoiseState::revision-cached), {fan_out, fan_in} otherwise.
+  /// The reference is invalidated by the next forward/backward or noise
+  /// mutation; backends re-read it per refresh (keyed on the revision)
+  /// rather than holding it. Inference-only: throws std::logic_error in
+  /// training mode.
+  const Tensor& backend_effective_weight();
 
   /// Weights as they would be programmed on an analog array: the
   /// quantize-dequantize grid under the current scale when quantization
@@ -214,6 +245,15 @@ class QuantLayerBase : public Layer {
   /// first chip block (the broadcast fast path), written into `out`.
   void quantize_forward_input(const Tensor& x, index_t nb, bool shared,
                               Tensor& out);
+  /// True when the installed backend re-derives activation codes from raw
+  /// activations itself (AnalogBackend::wants_raw_activations) and the
+  /// quantizer is active: the forward then feeds the backend unquantized
+  /// input and skips the float activation-grid pass — one full tensor
+  /// pass saved per forward, bit-identical codes.
+  bool backend_takes_raw() const {
+    return analog_backend_ != nullptr && !training_ && quant_enabled_ &&
+           act_quant_.calibrated() && analog_backend_->wants_raw_activations();
+  }
   /// Analog MVM of the (possibly chip-grouped) 2-D activations against
   /// the effective weights, plus the self-tuning correction: dispatches
   /// the plain / grouped / shared NT GEMM and feeds the LTM row sums

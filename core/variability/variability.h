@@ -47,6 +47,15 @@ struct VariabilityConfig {
   }
 };
 
+/// Conductance / layer-fixed-noise unit from a layer's max |weight|: the
+/// weight magnitude one full-scale device represents. Falls back to 1.0
+/// for an all-zero layer so downstream divisions stay finite. Shared by
+/// the crossbar programming (pim/), the int8 backend's requant grid and
+/// the layer-fixed variance unit.
+inline double w_unit_from_max(float wmax) {
+  return wmax > 0.0f ? static_cast<double>(wmax) : 1.0;
+}
+
 class QuantLayerBase;
 
 /// Draw a fresh within-chip noise realization (and a layer-local

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <memory>
 
+#include "core/quant/int8_backend.h"
 #include "pim/tiling.h"
 
 namespace qavat {
@@ -266,24 +267,40 @@ EvalStats evaluate_circuit(Module& model, const Dataset& test,
 
 }  // namespace
 
+const char* to_string(EvalBackend backend) {
+  switch (backend) {
+    case EvalBackend::kCircuit:
+      return "circuit";
+    case EvalBackend::kInt8:
+      return "int8";
+    case EvalBackend::kWeightDomain:
+      break;
+  }
+  return "weight_domain";
+}
+
 EvalBackend eval_backend_from_env() {
-  static const EvalBackend backend = [] {
-    const char* v = std::getenv("QAVAT_EVAL_BACKEND");
-    if (v == nullptr || v[0] == '\0' ||
-        std::strcmp(v, "weight_domain") == 0) {
-      return EvalBackend::kWeightDomain;
-    }
-    if (std::strcmp(v, "circuit") == 0) return EvalBackend::kCircuit;
-    // A typo must not silently publish weight-domain numbers as
-    // "circuit-level" ones.
+  // Parsed per call, NOT cached: one test binary flips the variable to
+  // exercise all three backends in a single run (the old function-local
+  // static pinned the first value for the process lifetime).
+  const char* v = std::getenv("QAVAT_EVAL_BACKEND");
+  if (v == nullptr || v[0] == '\0' || std::strcmp(v, "weight_domain") == 0) {
+    return EvalBackend::kWeightDomain;
+  }
+  if (std::strcmp(v, "circuit") == 0) return EvalBackend::kCircuit;
+  if (std::strcmp(v, "int8") == 0) return EvalBackend::kInt8;
+  // A typo must not silently publish weight-domain numbers as
+  // "circuit-level" or "int8" ones. Warn once per process, not per call.
+  static bool warned = false;
+  if (!warned) {
     std::fprintf(stderr,
                  "qavat: unrecognized QAVAT_EVAL_BACKEND=\"%s\" "
-                 "(expected \"weight_domain\" or \"circuit\"); "
+                 "(expected \"weight_domain\", \"circuit\" or \"int8\"); "
                  "using weight_domain\n",
                  v);
-    return EvalBackend::kWeightDomain;
-  }();
-  return backend;
+    warned = true;
+  }
+  return EvalBackend::kWeightDomain;
 }
 
 EvalStats evaluate_under_variability(Module& model, const Dataset& test,
@@ -295,14 +312,38 @@ EvalStats evaluate_under_variability(Module& model, const Dataset& test,
     return evaluate_circuit(model, test, vcfg, ecfg, st);
   }
   auto qlayers = model.quant_layers();
-  // Clear the sampled noise state however this scope exits: a throw
-  // mid-eval (allocation failure, shape error) must not leave the model
-  // with a stale batched realization installed — same teardown guarantee
-  // the circuit branch gets from its BackendGuard.
+  // The int8 backends must outlive the guard below (locals unwind in
+  // reverse order: uninstall first, then destroy the backends).
+  std::vector<std::unique_ptr<Int8Backend>> int8_backends;
+  // Clear the sampled noise state — and uninstall any int8 backends —
+  // however this scope exits: a throw mid-eval (allocation failure, shape
+  // error) must not leave the model with a stale batched realization or a
+  // dangling backend pointer installed — same teardown guarantee the
+  // circuit branch gets from its BackendGuard.
   struct NoiseGuard {
     Module& model;
-    ~NoiseGuard() { clear_all_noise(model); }
+    std::vector<QuantLayerBase*>* backend_layers = nullptr;
+    ~NoiseGuard() {
+      if (backend_layers != nullptr) {
+        for (QuantLayerBase* q : *backend_layers) q->set_analog_backend(nullptr);
+      }
+      clear_all_noise(model);
+    }
   } noise_guard{model};
+  if (ecfg.backend == EvalBackend::kInt8) {
+    // Int8 route: install one integer backend per quant layer, then run
+    // the identical weight-domain chip loop below — same Rng(seed, chip)
+    // realizations, same chip batching; only the MVM arithmetic changes.
+    // Each backend re-quantizes its layer's effective weights into packed
+    // planes once per chip group (keyed on the NoiseState revision).
+    int8_backends.reserve(qlayers.size());
+    for (QuantLayerBase* q : qlayers) {
+      int8_backends.push_back(
+          std::make_unique<Int8Backend>(*q, model.workspace()));
+      q->set_analog_backend(int8_backends.back().get());
+    }
+    noise_guard.backend_layers = &qlayers;
+  }
   index_t chip_batch = ecfg.chip_batch > 0 ? ecfg.chip_batch : kDefaultChipBatch;
   chip_batch = std::max<index_t>(1, std::min(chip_batch, ecfg.n_chips));
   std::vector<double> accs;

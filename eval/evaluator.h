@@ -66,11 +66,27 @@ enum class EvalBackend {
   /// (chip_batch is ignored) and O(arrays) programming per chip — meant
   /// for small models and validation runs (DESIGN.md §10).
   kCircuit,
+  /// Weight-domain chip realizations (same Rng(seed, chip) draws and
+  /// chip-batching as kWeightDomain) with every analog MVM routed through
+  /// the s8 x s8 -> s32 integer fast path: each chip's effective weights
+  /// are re-quantized once into cached int8 planes and multiplied against
+  /// the layer's integer activation codes (core/quant/int8_backend.h,
+  /// DESIGN.md §12). 2x+ faster per eval; accuracies match kWeightDomain
+  /// exactly on the noise-free grid and within a benched epsilon under
+  /// injected variability.
+  kInt8,
 };
 
+/// Stable lowercase name of a backend ("weight_domain", "circuit",
+/// "int8") — the same tokens QAVAT_EVAL_BACKEND and the scenario JSON
+/// use.
+const char* to_string(EvalBackend backend);
+
 /// QAVAT_EVAL_BACKEND as an EvalBackend: "circuit" selects kCircuit,
-/// anything else (or unset) kWeightDomain. Resolved once and cached;
-/// applied by default_eval_config(), not by evaluate_under_variability.
+/// "int8" kInt8, anything else (or unset) kWeightDomain. Re-read from the
+/// environment on EVERY call (tests flip the variable between scenarios);
+/// an unknown value warns once per process. Applied by
+/// default_eval_config(), not by evaluate_under_variability.
 EvalBackend eval_backend_from_env();
 
 /// Monte-Carlo evaluation protocol. All counts are per evaluation call.

@@ -80,15 +80,20 @@ ScenarioResult Session::run(const ScenarioSpec& spec) {
 }
 
 void Session::print_summary(const char* name) const {
+  // The trailing backend token tells the three backends' timings apart in
+  // archived bench logs (it names the active QAVAT_EVAL_BACKEND, which
+  // default_eval_config applied to every scenario of this session).
   std::fprintf(
       stderr,
       "[qavat-session] %s: scenarios=%lld trained=%lld model_store_hits=%lld "
-      "evals_computed=%lld eval_cache_hits=%lld train_s=%.2f eval_s=%.2f\n",
+      "evals_computed=%lld eval_cache_hits=%lld train_s=%.2f eval_s=%.2f "
+      "backend=%s\n",
       name, static_cast<long long>(scenarios_),
       static_cast<long long>(trained_),
       static_cast<long long>(model_store_hits_),
       static_cast<long long>(evals_computed_),
-      static_cast<long long>(eval_cache_hits_), train_seconds_, eval_seconds_);
+      static_cast<long long>(eval_cache_hits_), train_seconds_, eval_seconds_,
+      to_string(eval_backend_from_env()));
 }
 
 }  // namespace qavat

@@ -261,6 +261,11 @@ std::string ScenarioSpec::key() const {
     const index_t tile = eval.tile_size > 0 ? eval.tile_size
                                             : tile_size_from_env();
     k += "ckt" + lld(tile);
+  } else if (eval.backend == EvalBackend::kInt8) {
+    // The int8 requant grid perturbs per-chip logits relative to the
+    // float weight-domain path, so its results are a distinct identity —
+    // a cached weight-domain eval must never be served for an int8 run.
+    k += "i8";
   } else {
     k += "wd";
   }
@@ -318,9 +323,7 @@ std::string ScenarioSpec::to_json() const {
     json_kv(e, "batch_size", lld(eval.batch_size), false);
     json_kv(e, "seed", std::to_string(eval.seed), false);
     json_kv(e, "chip_batch", lld(eval.chip_batch), false);
-    json_kv(e, "backend",
-            eval.backend == EvalBackend::kCircuit ? "circuit" : "weight_domain",
-            true);
+    json_kv(e, "backend", to_string(eval.backend), true);
     json_kv(e, "tile_size", lld(eval.tile_size), false, true);
     e += '}';
     json_kv(o, "eval", e, false, true);
@@ -436,6 +439,8 @@ bool ScenarioSpec::from_json(const std::string& text, ScenarioSpec* out) {
         s.eval.backend = EvalBackend::kWeightDomain;
       } else if (b->text == "circuit") {
         s.eval.backend = EvalBackend::kCircuit;
+      } else if (b->text == "int8") {
+        s.eval.backend = EvalBackend::kInt8;
       } else {
         return false;
       }

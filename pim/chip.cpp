@@ -47,8 +47,7 @@ CrossbarArray::CrossbarArray(const CrossbarConfig& cfg, const Tensor& w,
   if (w_unit > 0.0) {
     w_unit_ = w_unit;
   } else {
-    const float wmax = w.abs_max();
-    w_unit_ = wmax > 0.0f ? static_cast<double>(wmax) : 1.0;
+    w_unit_ = w_unit_from_max(w.abs_max());
   }
   g_.resize(w.shape());
   const VariabilityConfig& var = cfg_.variability;

@@ -69,8 +69,7 @@ TiledCrossbarLayer::TiledCrossbarLayer(PimChip& chip, const Tensor& w,
   // whole layer's max |w|, exactly as a single unbounded array would be —
   // the tiled conductances are then the same floats, which is what makes
   // the noise-free tiled readout bit-identical to an untiled one.
-  const float wmax = w.abs_max();
-  w_unit_ = wmax > 0.0f ? static_cast<double>(wmax) : 1.0;
+  w_unit_ = w_unit_from_max(w.abs_max());
 
   const index_t rt = plan_.row_tiles(), ct = plan_.col_tiles();
   arrays_.reserve(static_cast<std::size_t>(rt * ct));
