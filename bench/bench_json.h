@@ -98,9 +98,12 @@ inline bool write_bench_json_merged(const std::string& path,
   std::fprintf(f, "  \"kernels\": [\n");
   for (std::size_t i = 0; i < merged.size(); ++i) {
     const BenchEntry& e = merged[i];
+    // %.6g, not fixed-point: dispatch-latency rows are ~1e-5 GMAC/s and
+    // sub-microsecond wall times, which %.4f would flush to 0.0 and the
+    // regression checker would read as a 100% drop.
     std::fprintf(f,
-                 "    {\"name\": \"%s\", \"wall_ms\": %.6f, \"gmacs\": "
-                 "%.4f}%s\n",
+                 "    {\"name\": \"%s\", \"wall_ms\": %.6g, \"gmacs\": "
+                 "%.6g}%s\n",
                  e.name.c_str(), e.wall_ms, e.gmacs,
                  i + 1 < merged.size() ? "," : "");
   }

@@ -23,12 +23,43 @@ run_suite() {
   echo "== build (${type}) =="
   cmake --build "${dir}" -j "${JOBS}"
 
-  echo "== test (${type}) =="
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  # The whole suite runs at two thread budgets: QAVAT_THREADS=1 keeps the
+  # pool dormant (pure serial paths), QAVAT_THREADS=4 forces worker
+  # dispatch, stealing and nested jobs even on small CI hosts. Results
+  # must be identical — the bit-identity contract (DESIGN.md §7/§13).
+  for nt in 1 4; do
+    echo "== test (${type}, QAVAT_THREADS=${nt}) =="
+    (cd "${dir}" && QAVAT_THREADS="${nt}" ctest --output-on-failure -j "${JOBS}")
+  done
 }
 
 run_suite "${BUILD_DIR}" Release
 run_suite "${DEBUG_BUILD_DIR}" Debug
+
+# Optional ThreadSanitizer pass over the pool-heavy tests (Debug +
+# -fsanitize=thread via -DQAVAT_TSAN=ON). Probed at runtime: hosts whose
+# toolchain lacks the TSan runtime skip gracefully instead of failing.
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${REPO_ROOT}/build-tsan}"
+TSAN_PROBE="$(mktemp -d)"
+trap 'rm -rf "${TSAN_PROBE}"' EXIT
+echo 'int main() { return 0; }' > "${TSAN_PROBE}/probe.cc"
+if "${CXX:-c++}" -fsanitize=thread "${TSAN_PROBE}/probe.cc" \
+     -o "${TSAN_PROBE}/probe" >/dev/null 2>&1 && "${TSAN_PROBE}/probe"; then
+  echo "== tsan (Debug, pool-heavy tests) =="
+  cmake -B "${TSAN_BUILD_DIR}" -S "${REPO_ROOT}" \
+        -DCMAKE_BUILD_TYPE=Debug -DQAVAT_TSAN=ON
+  cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
+        --target test_gemm test_conv_ops test_thread_pool
+  for t in test_gemm test_conv_ops test_thread_pool; do
+    echo "-- tsan ${t} --"
+    QAVAT_FAST=1 QAVAT_STORE=0 QAVAT_THREADS=4 "${TSAN_BUILD_DIR}/${t}"
+  done
+  echo "tsan: OK (test_gemm test_conv_ops test_thread_pool, QAVAT_THREADS=4)"
+else
+  echo "tsan: toolchain has no usable ThreadSanitizer runtime - skipped"
+fi
+rm -rf "${TSAN_PROBE}"
+trap - EXIT
 
 # Docs gate: the public headers must carry well-formed doc comments.
 # The repo's own lint is the portable baseline (python3 ships with the
@@ -40,7 +71,8 @@ run_suite "${DEBUG_BUILD_DIR}" Debug
 DOC_HEADERS=(pim/chip.h pim/tiling.h eval/evaluator.h eval/scenario.h
              eval/store.h eval/runner.h tensor/workspace.h
              tensor/conv_ops.h tensor/ops.h tensor/serialize.h
-             tensor/int_ops.h core/quant/int8_backend.h)
+             tensor/int_ops.h tensor/thread_pool.h
+             core/quant/int8_backend.h)
 echo "== docs check =="
 DOC_TOOL_RAN=0
 if command -v python3 >/dev/null 2>&1; then

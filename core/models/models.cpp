@@ -163,6 +163,10 @@ class ResidualBlock : public Layer {
 }  // namespace
 
 Tensor Module::forward(const Tensor& x) {
+  // This thread is the model's single workspace driver for the pass;
+  // a concurrent pass on the same model aborts loudly (pipelined
+  // sessions run concurrent passes on DIFFERENT models only).
+  Workspace::DriverScope driver(workspace_);
   Tensor h = x;
   for (auto& layer : layers_) h = layer->forward(h);
   // Scratch slots are dead between top-level passes; enforce the
@@ -172,6 +176,7 @@ Tensor Module::forward(const Tensor& x) {
 }
 
 void Module::backward(const Tensor& grad_logits) {
+  Workspace::DriverScope driver(workspace_);
   Tensor g = grad_logits;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     g = (*it)->backward(g);

@@ -46,8 +46,9 @@ void ensure_noise_batch(QuantLayerBase& layer, index_t batch) {
   ++ns.revision;
 }
 
-void sample_variability_slot(QuantLayerBase& layer, const VariabilityConfig& cfg,
-                             Rng& rng, index_t slot) {
+void sample_variability_slot_draws(QuantLayerBase& layer,
+                                   const VariabilityConfig& cfg, Rng& rng,
+                                   index_t slot) {
   NoiseState& ns = layer.noise_state();
   const index_t wsize = layer.weight().value.size();
   if (slot < 0 || slot >= ns.batch || ns.eps.size() != ns.batch * wsize) {
@@ -56,18 +57,11 @@ void sample_variability_slot(QuantLayerBase& layer, const VariabilityConfig& cfg
         " outside prepared batch (call ensure_noise_batch first)");
   }
   float* eps = ns.eps.data() + slot * wsize;
-  ++ns.revision;
   if (!cfg.enabled()) {
     for (index_t i = 0; i < wsize; ++i) eps[i] = 0.0f;
     ns.eps_b_v[static_cast<std::size_t>(slot)] = 0.0f;
     return;
   }
-  ns.model = cfg.model;
-  // wmax is a property of the frozen weights, not of the chip: compute it
-  // once per group (slot 0) instead of once per chip — the value is
-  // bit-identical across slots, and dequant_weight_max runs a full
-  // quantize-dequantize pass per call.
-  if (slot == 0) ns.wmax = layer.dequant_weight_max();
   // Same draw order as sample_variability: the within-chip field first,
   // then the layer-local between-chip value (overwritten by the evaluator
   // with the chip-shared draw, but consuming the same RNG stream).
@@ -80,7 +74,22 @@ void sample_variability_slot(QuantLayerBase& layer, const VariabilityConfig& cfg
   }
   ns.eps_b_v[static_cast<std::size_t>(slot)] =
       cfg.sigma_b > 0.0 ? static_cast<float>(rng.normal(0.0, cfg.sigma_b)) : 0.0f;
-  ns.active = true;
+}
+
+void sample_variability_slot(QuantLayerBase& layer, const VariabilityConfig& cfg,
+                             Rng& rng, index_t slot) {
+  NoiseState& ns = layer.noise_state();
+  sample_variability_slot_draws(layer, cfg, rng, slot);
+  ++ns.revision;
+  if (cfg.enabled()) {
+    ns.model = cfg.model;
+    // wmax is a property of the frozen weights, not of the chip: compute it
+    // once per group (slot 0) instead of once per chip — the value is
+    // bit-identical across slots, and dequant_weight_max runs a full
+    // quantize-dequantize pass per call.
+    if (slot == 0) ns.wmax = layer.dequant_weight_max();
+    ns.active = true;
+  }
 }
 
 }  // namespace qavat

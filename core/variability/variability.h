@@ -79,4 +79,14 @@ void ensure_noise_batch(QuantLayerBase& layer, index_t batch);
 void sample_variability_slot(QuantLayerBase& layer, const VariabilityConfig& cfg,
                              Rng& rng, index_t slot);
 
+/// Slot-PURE core of sample_variability_slot: identical RNG draws and
+/// per-slot writes (the slot's eps slice and eps_b_v entry), but none of
+/// the NoiseState-wide writes (revision, model, wmax, active). Distinct
+/// slots touch disjoint storage, so the batched evaluator samples chips
+/// into their slots from a parallel_for — the caller hoists the shared
+/// writes into a serial per-group prologue (eval/evaluator.cpp).
+void sample_variability_slot_draws(QuantLayerBase& layer,
+                                   const VariabilityConfig& cfg, Rng& rng,
+                                   index_t slot);
+
 }  // namespace qavat

@@ -9,6 +9,7 @@
 
 #include "core/quant/int8_backend.h"
 #include "pim/tiling.h"
+#include "tensor/parallel_for.h"
 
 namespace qavat {
 
@@ -60,6 +61,12 @@ void clear_all_noise(Module& model) {
 // then per layer: within-chip field, layer eps_B, LTM error) matches the
 // sequential path exactly, so batched and sequential evaluation sample
 // identical chips.
+// Slot-pure: touches only slot `slot`'s disjoint storage (the eps slice
+// and the eps_b/eps_hat/ltm_err vector entries) — the NoiseState-wide
+// fields are written once per group by prepare_noise_group below — so
+// the chips of a group can be sampled from a parallel_for. The batch==1
+// scalar-field mirror is the one exception, and a one-chip group never
+// dispatches in parallel.
 void sample_chip_into_slot(std::vector<QuantLayerBase*>& qlayers,
                            const VariabilityConfig& vcfg, const EvalConfig& ecfg,
                            const SelfTuneConfig* st, index_t chip, index_t slot) {
@@ -69,11 +76,10 @@ void sample_chip_into_slot(std::vector<QuantLayerBase*>& qlayers,
   const double eps_hat =
       tune ? measure_eps_b(eps_b, vcfg.sigma_w, st->gtm_cells, rng) : 0.0;
   for (QuantLayerBase* q : qlayers) {
-    sample_variability_slot(*q, vcfg, rng, slot);
+    sample_variability_slot_draws(*q, vcfg, rng, slot);
     NoiseState& ns = q->noise_state();
     ns.eps_b_v[static_cast<std::size_t>(slot)] = static_cast<float>(eps_b);
     if (tune) {
-      ns.correction = correction_for(st->mode);
       ns.eps_hat_v[static_cast<std::size_t>(slot)] = static_cast<float>(eps_hat);
       ns.ltm_err_v[static_cast<std::size_t>(slot)] = static_cast<float>(
           ltm_readout_error(vcfg.sigma_w, st->ltm_columns, rng));
@@ -86,6 +92,31 @@ void sample_chip_into_slot(std::vector<QuantLayerBase*>& qlayers,
       ns.eps_hat = ns.eps_hat_v[0];
       ns.ltm_err = ns.ltm_err_v[0];
     }
+  }
+}
+
+// Serial per-group prologue: size every layer's batched state and apply
+// the NoiseState-wide writes that sample_variability_slot would have
+// made per chip (model/wmax/active, the self-tune correction, and the
+// one revision bump that invalidates cached effective weights / int8
+// planes for the new group). Hoisting them here is what makes the
+// per-chip sampling above safe to run from a parallel_for.
+void prepare_noise_group(std::vector<QuantLayerBase*>& qlayers,
+                         const VariabilityConfig& vcfg,
+                         const SelfTuneConfig* st, index_t nb) {
+  const bool tune = st != nullptr && st->mode != SelfTuneMode::kNone;
+  for (QuantLayerBase* q : qlayers) {
+    ensure_noise_batch(*q, nb);
+    NoiseState& ns = q->noise_state();
+    if (vcfg.enabled()) {
+      ns.model = vcfg.model;
+      // wmax is a property of the frozen weights, not of the chip:
+      // bit-identical across slots, so once per group is enough (and
+      // dequant_weight_max runs a full quantize-dequantize pass).
+      ns.wmax = q->dequant_weight_max();
+      ns.active = true;
+    }
+    if (tune) ns.correction = correction_for(st->mode);
   }
 }
 
@@ -378,10 +409,16 @@ EvalStats evaluate_under_variability(Module& model, const Dataset& test,
     // forward per test batch per group.
     for (index_t chip0 = 0; chip0 < ecfg.n_chips; chip0 += chip_batch) {
       const index_t nb = std::min(chip_batch, ecfg.n_chips - chip0);
-      for (QuantLayerBase* q : qlayers) ensure_noise_batch(*q, nb);
-      for (index_t b = 0; b < nb; ++b) {
-        sample_chip_into_slot(qlayers, vcfg, ecfg, st, chip0 + b, b);
-      }
+      prepare_noise_group(qlayers, vcfg, st, nb);
+      // Chips draw from independent streams — Rng(seed, chip) — and
+      // sample_chip_into_slot is slot-pure after the prologue, so the
+      // group's chips sample in parallel (an outer pool job above the
+      // nested GEMM dispatches of the subsequent batched forward).
+      parallel_for(index_t{0}, nb, index_t{1}, [&](index_t b0, index_t b1) {
+        for (index_t b = b0; b < b1; ++b) {
+          sample_chip_into_slot(qlayers, vcfg, ecfg, st, chip0 + b, b);
+        }
+      });
       std::vector<double> group_accs(static_cast<std::size_t>(nb), 0.0);
       accuracy_batched(model, test, ecfg, nb, group_accs.data());
       accs.insert(accs.end(), group_accs.begin(), group_accs.end());

@@ -1,7 +1,13 @@
 #include "eval/runner.h"
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 namespace qavat {
 
@@ -42,12 +48,17 @@ TrainedModel Session::train_model(const ScenarioSpec& spec) {
 
 ScenarioResult Session::run(const ScenarioSpec& spec) {
   ++scenarios_;
-  ScenarioResult r;
-  r.key = spec.key();
-
   const auto t0 = std::chrono::steady_clock::now();
   TrainedModel tm = train_model(spec);
-  r.train_seconds = seconds_since(t0);
+  return finish_scenario(spec, std::move(tm), seconds_since(t0));
+}
+
+ScenarioResult Session::finish_scenario(const ScenarioSpec& spec,
+                                        TrainedModel tm,
+                                        double train_seconds) {
+  ScenarioResult r;
+  r.key = spec.key();
+  r.train_seconds = train_seconds;
   r.trained = tm.trained;
   r.model_from_store = tm.from_store;
   r.clean_acc = tm.clean_test_acc;
@@ -77,6 +88,90 @@ ScenarioResult Session::run(const ScenarioSpec& spec) {
     r.mean_acc = r.clean_acc;
   }
   return r;
+}
+
+std::vector<ScenarioResult> Session::run_all(
+    const std::vector<ScenarioSpec>& specs) {
+  std::vector<ScenarioResult> results;
+  results.reserve(specs.size());
+  if (specs.empty()) return results;
+
+  // Resolve every dataset on this thread first: dataset() inserts into
+  // the per-session map, and once fully populated both pipeline stages
+  // only read it (concurrent map reads are safe; a concurrent insert is
+  // not).
+  for (const ScenarioSpec& spec : specs) dataset(spec.model);
+
+  // Depth-1 lookahead queue between the stages: while this thread
+  // evaluates scenario N (and writes its eval artifacts), the executor
+  // trains scenario N+1. The single slot bounds lookahead, so at most
+  // three trained models are alive at once (training / queued /
+  // evaluating). The stages touch disjoint state — trainer: model
+  // cache, store "models" bucket, train-side counters; consumer: eval
+  // cache, store "evals" bucket, eval-side counters — so the handoff
+  // mutex is the only synchronization needed.
+  struct Trained {
+    TrainedModel tm;
+    double train_seconds = 0.0;
+    std::exception_ptr error;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Trained> ready;
+  bool abort = false;
+
+  std::thread executor([&] {
+    for (const ScenarioSpec& spec : specs) {
+      Trained t;
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        t.tm = train_model(spec);
+      } catch (...) {
+        t.error = std::current_exception();
+      }
+      t.train_seconds = seconds_since(t0);
+      const bool stop_after = t.error != nullptr;
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return abort || ready.empty(); });
+      if (abort) return;
+      ready.push_back(std::move(t));
+      cv.notify_all();
+      // Sequential semantics: a failed training ends the run at that
+      // scenario; nothing trains past it.
+      if (stop_after) return;
+    }
+  });
+  // Join the executor however this scope exits — an eval exception must
+  // not leave a detached trainer running into a dead Session.
+  struct Joiner {
+    std::thread& th;
+    std::mutex& mu;
+    std::condition_variable& cv;
+    bool& abort;
+    ~Joiner() {
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        abort = true;
+      }
+      cv.notify_all();
+      if (th.joinable()) th.join();
+    }
+  } joiner{executor, mu, cv, abort};
+
+  for (const ScenarioSpec& spec : specs) {
+    Trained t;
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return !ready.empty(); });
+      t = std::move(ready.front());
+      ready.pop_front();
+      cv.notify_all();  // free the slot: the executor may push the next
+    }
+    if (t.error) std::rethrow_exception(t.error);
+    ++scenarios_;
+    results.push_back(finish_scenario(spec, std::move(t.tm), t.train_seconds));
+  }
+  return results;
 }
 
 void Session::print_summary(const char* name) const {

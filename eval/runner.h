@@ -10,6 +10,7 @@
 #pragma once
 
 #include <map>
+#include <vector>
 
 #include "eval/experiment.h"
 #include "eval/scenario.h"
@@ -39,6 +40,18 @@ class Session {
   /// Train (through the cache/store) and evaluate one scenario.
   ScenarioResult run(const ScenarioSpec& spec);
 
+  /// Pipelined batch execution: a background executor thread trains
+  /// scenario N+1 (model cache + store "models" bucket) while the
+  /// calling thread Monte-Carlo evaluates scenario N and writes its
+  /// eval artifacts — the two stages touch disjoint caches/counters, so
+  /// overlap changes wall clock only. Results return in spec order and
+  /// carry the same numbers, provenance and timing a sequential run()
+  /// loop would produce (every stage is deterministic; a warm store
+  /// still yields byte-identical tables). A training failure surfaces
+  /// as the failing scenario's exception at its position in the order,
+  /// after the executor has drained; nothing runs past it.
+  std::vector<ScenarioResult> run_all(const std::vector<ScenarioSpec>& specs);
+
   /// Just the (cached/store-backed) trained model of a scenario, for
   /// benches that drive a custom evaluation loop (drift, equivalence).
   /// Counts toward the session's provenance totals.
@@ -55,6 +68,12 @@ class Session {
   void print_summary(const char* name) const;
 
  private:
+  // Evaluation half of run(): everything after training — shared by the
+  // sequential and pipelined paths so their results are identical by
+  // construction. Touches only eval-side caches and counters.
+  ScenarioResult finish_scenario(const ScenarioSpec& spec, TrainedModel tm,
+                                 double train_seconds);
+
   std::map<ModelKind, SplitDataset> datasets_;
   index_t scenarios_ = 0;
   index_t trained_ = 0;

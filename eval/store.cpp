@@ -1,5 +1,6 @@
 #include "eval/store.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -33,9 +34,11 @@ std::string artifact_path(const char* bucket, const std::string& key) {
 }
 
 void warn_write_failure(const std::string& path) {
-  static bool warned = false;
-  if (warned) return;
-  warned = true;
+  // Atomic: with pipelined sessions the trainer and consumer threads can
+  // both hit an unwritable store; exchange keeps the warning single-shot
+  // without a race.
+  static std::atomic<bool> warned{false};
+  if (warned.exchange(true)) return;
   std::fprintf(stderr,
                "qavat: artifact store write failed (%s); persistence is off "
                "for the unwritable paths (set QAVAT_STORE=0 to silence)\n",

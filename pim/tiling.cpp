@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "tensor/parallel_for.h"
+
 namespace qavat {
 
 index_t tile_size_from_env() {
@@ -154,18 +156,30 @@ void TiledCrossbarLayer::mvm_into(const Tensor& x2d, Tensor& y) {
     }
   }
 
-  for (index_t i = 0; i < rt; ++i) {
-    const TilePlan::Extent er = plan_.tile_at(i, 0);
-    // Row tile i writes output columns [er.r0, er.r0 + er.rows). With one
-    // row tile that is all of y; otherwise partials stage in scratch and
-    // scatter into y's column block afterwards.
-    Tensor* part = &y;
-    if (rt > 1) {
-      part = &ws_->acquire(this, static_cast<int>(1 + ct + i), {n, er.rows});
+  // Row tile i writes output columns [er.r0, er.r0 + er.rows) — disjoint
+  // blocks — so row tiles run in parallel once their scratch partials
+  // are staged. Workspace::acquire is single-driver-thread, so with
+  // multiple row tiles every partial is acquired HERE, serially, before
+  // the parallel region; part_ptrs_ is a member so its capacity survives
+  // across calls (zero-alloc steady state).
+  part_ptrs_.assign(static_cast<std::size_t>(rt), &y);
+  if (rt > 1) {
+    for (index_t i = 0; i < rt; ++i) {
+      const TilePlan::Extent er = plan_.tile_at(i, 0);
+      part_ptrs_[static_cast<std::size_t>(i)] =
+          &ws_->acquire(this, static_cast<int>(1 + ct + i), {n, er.rows});
     }
+  }
+  auto run_row_tile = [&](index_t i) {
+    const TilePlan::Extent er = plan_.tile_at(i, 0);
+    // With one row tile the partial is all of y; otherwise partials
+    // stage in scratch and scatter into y's column block afterwards.
+    Tensor* part = part_ptrs_[static_cast<std::size_t>(i)];
     // Partial-sum determinism contract: ascending column-tile order, each
     // array CONTINUING the per-element accumulation chain — bit-identical
-    // to one full-width readout (see matmul_nt_acc_into).
+    // to one full-width readout (see matmul_nt_acc_into). The column loop
+    // must therefore stay serial within a row tile; the GEMM inside each
+    // array threads on its own (a nested job of the row-tile dispatch).
     for (index_t j = 0; j < ct; ++j) {
       array(i, j).accumulate_currents(*slice_ptrs_[static_cast<std::size_t>(j)],
                                       *part, /*accumulate=*/j > 0);
@@ -181,6 +195,13 @@ void TiledCrossbarLayer::mvm_into(const Tensor& x2d, Tensor& y) {
                     static_cast<std::size_t>(er.rows) * sizeof(float));
       }
     }
+  };
+  if (rt > 1) {
+    parallel_for(index_t{0}, rt, index_t{1}, [&](index_t i0, index_t i1) {
+      for (index_t i = i0; i < i1; ++i) run_row_tile(i);
+    });
+  } else {
+    run_row_tile(0);
   }
 
   // Bitline ADCs on the assembled output rows: partial sums combine

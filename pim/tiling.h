@@ -70,8 +70,10 @@ struct TilePlan {
 ///
 /// Thread-safety: construction programs arrays (advances the chip's RNG)
 /// and mvm_into acquires workspace slots — both single-driver-thread,
-/// like the rest of the eval pipeline; the GEMM kernels inside thread via
-/// QAVAT_THREADS with bit-identical results.
+/// like the rest of the eval pipeline. Inside one mvm_into call, row
+/// tiles (disjoint output blocks, scratch pre-acquired by the driver)
+/// run as a pool job whose per-array GEMMs nest on the same worker
+/// budget, with bit-identical results for any QAVAT_THREADS.
 class TiledCrossbarLayer : public AnalogBackend {
  public:
   /// Program `w` {out, in} across `plan`'s tiles on `chip`, in row-major
@@ -129,6 +131,10 @@ class TiledCrossbarLayer : public AnalogBackend {
   // Per-column-tile input views for the current MVM; member so its
   // capacity persists (zero-alloc steady state).
   std::vector<const Tensor*> slice_ptrs_;
+  // Per-row-tile partial-sum targets, acquired serially before the
+  // parallel row-tile sweep (Workspace::acquire is single-driver-thread);
+  // member for the same zero-alloc reason.
+  std::vector<Tensor*> part_ptrs_;
 };
 
 }  // namespace qavat

@@ -394,13 +394,18 @@ void matmul_nt_shared_into(const Tensor& a, const Tensor& b, index_t groups,
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  // Each group goes through the full NT dispatch: a group big enough to
+  // clear the serial cutoff splits its rows as a NESTED job on the same
+  // pool, so group x row parallelism composes without oversubscription
+  // (nested dispatches enqueue; the worker budget never multiplies).
+  // Either split is bit-identical by the chunking contract.
   auto run = [=](index_t g0, index_t g1) {
     for (index_t g = g0; g < g1; ++g) {
-      gemm_nt_rows(pa, pb + g * n * k, pc + g * rows * n, index_t{0}, rows, k, n);
+      gemm_nt_dispatch<false>(pa, pb + g * n * k, pc + g * rows * n, rows, k, n);
     }
   };
   if (groups * rows * k * n < kSerialMacs) {
-    run(index_t{0}, groups);  // too small to pay per-call thread spawns
+    run(index_t{0}, groups);  // too small to pay a pool dispatch
   } else {
     parallel_for(index_t{0}, groups, index_t{1}, run);
   }
@@ -429,17 +434,19 @@ void matmul_nt_batched_into(const Tensor& a, const Tensor& b, index_t groups,
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // Parallelize across groups; each group is computed serially with the
-  // same local row origin as a standalone matmul_nt, so per-block results
-  // are bit-identical to per-group calls.
+  // Parallelize across groups with the same local row origin as a
+  // standalone matmul_nt, so per-block results are bit-identical to
+  // per-group calls. Each group runs the full NT dispatch: big groups
+  // split their rows as a NESTED pool job (chip batch x GEMM rows share
+  // one worker budget — nested dispatches enqueue, never spawn).
   auto run = [=](index_t g0, index_t g1) {
     for (index_t g = g0; g < g1; ++g) {
-      gemm_nt_rows(pa + g * rows * k, pb + g * n * k, pc + g * rows * n,
-                   index_t{0}, rows, k, n);
+      gemm_nt_dispatch<false>(pa + g * rows * k, pb + g * n * k,
+                              pc + g * rows * n, rows, k, n);
     }
   };
   if (groups * rows * k * n < kSerialMacs) {
-    run(index_t{0}, groups);  // too small to pay per-call thread spawns
+    run(index_t{0}, groups);  // too small to pay a pool dispatch
   } else {
     parallel_for(index_t{0}, groups, index_t{1}, run);
   }

@@ -1,46 +1,69 @@
-// Deterministic std::thread fork-join helper for the tensor kernels.
+// Deterministic parallel-for on the persistent work-stealing pool
+// (tensor/thread_pool.h, DESIGN.md §13).
 //
 // parallel_for(begin, end, grain, fn) splits [begin, end) into contiguous
 // chunks whose boundaries are multiples of `grain` (measured from `begin`)
-// and invokes fn(chunk_begin, chunk_end) once per chunk, spreading chunks
-// across up to num_threads() worker threads.
+// and invokes fn(chunk_begin, chunk_end) once per chunk span, spreading
+// spans across up to num_threads() pool workers plus the calling thread.
 //
 // Determinism contract: chunk boundaries depend only on (range, grain,
 // thread count), every index lands in exactly one chunk, and chunks are
 // grain-aligned — so a kernel whose per-index arithmetic is independent of
 // chunk boundaries (e.g. a GEMM that owns whole output rows and blocks
 // rows in groups that divide `grain`) produces bit-identical results for
-// ANY thread count, including 1. The GEMM kernels in tensor/ops.cpp are
-// written to this contract.
+// ANY thread count, including 1, and for any nesting depth. The GEMM
+// kernels in tensor/ops.cpp are written to this contract.
 //
-// Nested calls (fn itself calling parallel_for) run inline on the calling
-// worker, so parallelism never multiplies.
+// Nested calls (fn itself calling parallel_for) enqueue sub-jobs on the
+// same pool instead of running inline: the calling worker executes the
+// first span itself and then helps/steals until its sub-job drains, so
+// composed parallelism (chip batch × GEMM rows × crossbar tiles) shares
+// one worker budget and the process never runs more than num_threads()
+// compute threads.
 //
-// Thread count resolution: QAVAT_THREADS environment variable if set to a
-// positive integer, otherwise std::thread::hardware_concurrency(). Tests
-// and benches may override programmatically with set_num_threads().
+// Thread count resolution: the budget comes from QAVAT_THREADS (positive
+// integer) or std::thread::hardware_concurrency(), and is RE-RESOLVED
+// from the environment every time the pool (re)starts — at first
+// dispatch, and after every set_num_threads() call (which stops the
+// pool). set_num_threads(n > 0) pins a programmatic override that wins
+// over the environment until set_num_threads(0) unpins it. Like
+// QAVAT_EVAL_BACKEND, changing QAVAT_THREADS between runs therefore
+// takes effect without rebuilding; unlike it, the value is stable while
+// workers are alive (a mid-flight budget change would tear the
+// determinism contract).
 #pragma once
 
 #include <algorithm>
-#include <thread>
-#include <vector>
+#include <memory>
+#include <type_traits>
 
 #include "tensor/tensor.h"
+#include "tensor/thread_pool.h"
 
 namespace qavat {
 
 /// Worker-thread budget: QAVAT_THREADS > 0, else hardware_concurrency().
-/// Resolved once and cached; set_num_threads() overrides the cache.
+/// Re-resolved from the environment at every pool (re)start unless
+/// pinned by set_num_threads(n > 0) — see the header comment.
 index_t num_threads();
 
-/// Override the thread budget (n >= 1). Passing n <= 0 re-resolves from
-/// the environment on the next num_threads() call.
+/// Override the thread budget (n >= 1) and pin it against environment
+/// re-resolution; n <= 0 unpins and re-resolves QAVAT_THREADS on the
+/// next dispatch. Stops the pool (workers join and lazily respawn at
+/// the new budget) — must not be called while a dispatch is in flight.
 void set_num_threads(index_t n);
 
 namespace detail {
-/// True inside a parallel_for worker; nested calls run inline.
+/// True while the calling thread is executing a parallel_for span.
+/// Nested calls no longer serialize on this flag (they enqueue pool
+/// sub-jobs); it remains for introspection and tests.
 bool in_parallel_region();
+/// Maintained by the pool around span execution; not for general use.
 void set_in_parallel_region(bool on);
+/// Re-resolve QAVAT_THREADS into the cached budget unless a positive
+/// set_num_threads() override is pinned. Called by the pool every time
+/// it (re)starts.
+void refresh_thread_budget_from_env();
 }  // namespace detail
 
 /// Default grain (indices per chunk) and serial cutoff for pure
@@ -56,27 +79,24 @@ void parallel_for(index_t begin, index_t end, index_t grain, Fn&& fn) {
   if (total <= 0) return;
   if (grain < 1) grain = 1;
   const index_t nchunks = (total + grain - 1) / grain;
-  const index_t nt = std::min<index_t>(num_threads(), nchunks);
-  if (nt <= 1 || detail::in_parallel_region()) {
+  const index_t nspans = std::min<index_t>(num_threads(), nchunks);
+  if (nspans <= 1) {
     fn(begin, end);
     return;
   }
-  // Thread t owns chunks [t*nchunks/nt, (t+1)*nchunks/nt): a contiguous,
-  // grain-aligned span. All spans are disjoint and cover [begin, end).
-  auto run = [&](index_t t) {
-    detail::set_in_parallel_region(true);
-    const index_t c0 = t * nchunks / nt;
-    const index_t c1 = (t + 1) * nchunks / nt;
-    const index_t lo = begin + c0 * grain;
-    const index_t hi = std::min(end, begin + c1 * grain);
-    if (lo < hi) fn(lo, hi);
-    detail::set_in_parallel_region(false);
+  // Span s owns chunks [s*nchunks/nspans, (s+1)*nchunks/nspans): a
+  // contiguous, grain-aligned range — the same partition the old
+  // fork-join dispatcher computed, evaluated inside the pool
+  // (ThreadPool::Impl::run_span). All spans are disjoint and cover
+  // [begin, end). fn outlives the dispatch (run() returns only after
+  // every span finished), so passing its address through the
+  // type-erased hook is safe.
+  auto invoke = [](void* ctx, index_t lo, index_t hi) {
+    (*static_cast<typename std::remove_reference<Fn>::type*>(ctx))(lo, hi);
   };
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(nt - 1));
-  for (index_t t = 1; t < nt; ++t) workers.emplace_back(run, t);
-  run(0);
-  for (auto& w : workers) w.join();
+  ThreadPool::instance().run(
+      begin, end, grain, nchunks, nspans, invoke,
+      const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
 }
 
 /// Elementwise dispatch over [0, n): runs fn(i0, i1) serially below

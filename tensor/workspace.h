@@ -19,8 +19,15 @@
 //    slots — trim() may free any slot at any sequence point between
 //    top-level forward/backward calls.
 //  * NOT thread-safe: one workspace per model, acquired only from the
-//    single thread driving forward/backward. Kernels parallelize
-//    internally via tensor/parallel_for.h, which never re-enters acquire.
+//    SINGLE thread driving forward/backward — with pipelined Session
+//    execution (eval/runner.h run_all) that driver is a different thread
+//    per model, never two threads on one model. Kernels parallelize
+//    internally via tensor/parallel_for.h; pool workers never re-enter
+//    acquire (parallel regions pre-acquire their scratch serially, e.g.
+//    the row-tile partials in pim/tiling.cpp). DriverScope makes the
+//    rule loud: while any scope is open, an acquire from a thread other
+//    than the scope-opening driver aborts with a diagnostic instead of
+//    silently corrupting scratch.
 //
 // The retained footprint is capped by QAVAT_WORKSPACE_MB (default 256):
 // Module::forward/backward call trim(cap_bytes_from_env()) after each
@@ -29,6 +36,7 @@
 // pass always gets its buffers; eviction happens between passes).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <utility>
@@ -46,8 +54,30 @@ namespace qavat {
 /// forward/backward (see the lifetime contract above).
 class Workspace {
  public:
+  /// RAII marker that the calling thread is the single driver of this
+  /// workspace for the duration of a forward/backward pass
+  /// (Module::forward/backward open one). Reentrant on the same thread
+  /// (nested passes share the driver); opening a scope from a second
+  /// thread while another driver's scope is live, or acquiring from a
+  /// non-driver thread inside a scope, aborts with a diagnostic — the
+  /// fail-loud half of the single-driver contract that pipelined
+  /// sessions (eval/runner.h run_all) rely on. The checks are two
+  /// relaxed atomics, cheap enough to stay on in Release.
+  class DriverScope {
+   public:
+    explicit DriverScope(Workspace& ws);
+    ~DriverScope();
+    DriverScope(const DriverScope&) = delete;
+    DriverScope& operator=(const DriverScope&) = delete;
+
+   private:
+    Workspace& ws_;
+  };
+
   /// Borrow the scratch tensor for (owner, slot), resized to `shape`.
   /// Contents are unspecified; the caller must overwrite what it reads.
+  /// Single-driver-thread only (see DriverScope); aborts if called from
+  /// a non-driver thread while a DriverScope is open.
   Tensor& acquire(const void* owner, int slot, std::vector<index_t> shape);
 
   /// Bytes currently held across all slots (element storage; excludes
@@ -78,9 +108,18 @@ class Workspace {
                               // retained_bytes_ (kept exact even when a
                               // caller resizes the borrowed tensor)
   };
+  void check_driver(const char* what) const;
+
   std::map<std::pair<const void*, int>, Entry> slots_;
   std::uint64_t clock_ = 0;
   std::size_t retained_bytes_ = 0;
+  // Single-driver enforcement (DriverScope): nesting depth of open
+  // scopes and a hash of the driver thread's id (0 = no scope open).
+  // Atomics because the violating reader is by definition another
+  // thread; ordering is relaxed — the check is a diagnostic, the
+  // contract forbids the race it detects.
+  std::atomic<int> scope_depth_{0};
+  std::atomic<std::size_t> driver_{0};
 };
 
 }  // namespace qavat

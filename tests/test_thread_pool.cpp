@@ -1,0 +1,208 @@
+// Tier-1: the persistent work-stealing pool behind parallel_for —
+// span-partition determinism vs the analytic chunk formula, nested
+// dispatch bit-identity against serial for QAVAT_THREADS in {1,2,4,8},
+// pool restart after set_num_threads (including env re-resolution),
+// exception propagation out of a span, oversubscription bounds, and
+// no-deadlock on deeply nested dispatch.
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/parallel_for.h"
+#include "tensor/tensor.h"
+#include "tensor/thread_pool.h"
+#include "tests/test_common.h"
+
+using namespace qavat;
+
+namespace {
+
+// The chunk partition must match the analytic span formula exactly:
+// span s of nspans = min(nt, nchunks) owns chunks
+// [s*nchunks/nspans, (s+1)*nchunks/nspans), grain-aligned from `begin`,
+// clamped to `end` — every index in exactly one chunk, regardless of
+// which worker executes which span.
+void check_partition(index_t begin, index_t end, index_t grain, index_t nt) {
+  set_num_threads(nt);
+  std::vector<std::pair<index_t, index_t>> got;
+  std::mutex mu;
+  parallel_for(begin, end, grain, [&](index_t lo, index_t hi) {
+    std::lock_guard<std::mutex> lk(mu);
+    got.emplace_back(lo, hi);
+  });
+  std::sort(got.begin(), got.end());
+
+  const index_t total = end - begin;
+  const index_t g = std::max<index_t>(grain, 1);
+  const index_t nchunks = (total + g - 1) / g;
+  const index_t nspans = std::min<index_t>(nt, nchunks);
+  std::vector<std::pair<index_t, index_t>> want;
+  if (total <= 0) {
+    // empty range: no calls at all
+  } else if (nspans <= 1) {
+    want.emplace_back(begin, end);
+  } else {
+    for (index_t s = 0; s < nspans; ++s) {
+      const index_t c0 = s * nchunks / nspans;
+      const index_t c1 = (s + 1) * nchunks / nspans;
+      const index_t lo = begin + c0 * g;
+      const index_t hi = std::min(end, begin + c1 * g);
+      if (lo < hi) want.emplace_back(lo, hi);
+    }
+  }
+  CHECK(got == want);
+  // Coverage: spans are contiguous and cover [begin, end) exactly.
+  index_t cursor = begin;
+  for (const auto& span : got) {
+    CHECK(span.first == cursor);
+    cursor = span.second;
+  }
+  CHECK(cursor == end);
+}
+
+void test_partition_determinism() {
+  for (index_t nt : {index_t{1}, index_t{2}, index_t{4}, index_t{8}}) {
+    check_partition(0, 1000, 64, nt);
+    check_partition(0, 7, 1, nt);       // fewer chunks than threads
+    check_partition(5, 5, 16, nt);      // empty range: no calls
+    check_partition(-32, 96, 10, nt);   // negative begin, ragged tail
+    check_partition(0, 1 << 14, 1, nt); // many chunks
+  }
+  set_num_threads(0);
+}
+
+// Nested dispatch bit-identity: a grouped GEMM big enough that both the
+// outer per-group loop and the inner per-row dispatch engage must give
+// byte-identical output for any thread count. groups=4, rows=256, k=64,
+// n=160 puts each group at 2.6M MACs (>= the serial cutoff), so the
+// inner dispatch really nests under the outer one.
+void test_nested_bit_identity() {
+  const index_t groups = 4, rows = 256, k = 64, n = 160;
+  Rng rng(123);
+  Tensor a({groups * rows, k}), b({groups * n, k});
+  for (index_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  for (index_t i = 0; i < b.size(); ++i) b[i] = static_cast<float>(rng.normal(0.0, 1.0));
+
+  set_num_threads(1);
+  Tensor ref({groups * rows, n});
+  matmul_nt_batched_into(a, b, groups, ref);
+
+  for (index_t nt : {index_t{2}, index_t{4}, index_t{8}}) {
+    set_num_threads(nt);
+    Tensor c({groups * rows, n});
+    matmul_nt_batched_into(a, b, groups, c);
+    CHECK(std::memcmp(ref.data(), c.data(),
+                      static_cast<std::size_t>(ref.size()) * sizeof(float)) == 0);
+    // Same check through the shared-A variant, which nests the same way.
+    Tensor a1({rows, k});
+    std::memcpy(a1.data(), a.data(),
+                static_cast<std::size_t>(a1.size()) * sizeof(float));
+    Tensor ref_s({groups * rows, n}), c_s({groups * rows, n});
+    set_num_threads(1);
+    matmul_nt_shared_into(a1, b, groups, ref_s);
+    set_num_threads(nt);
+    matmul_nt_shared_into(a1, b, groups, c_s);
+    CHECK(std::memcmp(ref_s.data(), c_s.data(),
+                      static_cast<std::size_t>(ref_s.size()) * sizeof(float)) == 0);
+  }
+  set_num_threads(0);
+}
+
+// set_num_threads stops the pool; the next dispatch respawns it at the
+// new budget (live_workers = budget - 1). Unpinning with
+// set_num_threads(0) must re-resolve QAVAT_THREADS from the environment.
+void test_pool_restart() {
+  set_num_threads(4);
+  parallel_for(index_t{0}, index_t{16}, index_t{1}, [](index_t, index_t) {});
+  CHECK(ThreadPool::instance().live_workers() == 3);
+
+  set_num_threads(2);
+  CHECK(ThreadPool::instance().live_workers() == 0);  // stopped, not respawned
+  parallel_for(index_t{0}, index_t{16}, index_t{1}, [](index_t, index_t) {});
+  CHECK(ThreadPool::instance().live_workers() == 1);
+
+  setenv("QAVAT_THREADS", "3", 1);
+  set_num_threads(0);  // unpin: next start re-reads the environment
+  CHECK(num_threads() == 3);
+  parallel_for(index_t{0}, index_t{16}, index_t{1}, [](index_t, index_t) {});
+  CHECK(ThreadPool::instance().live_workers() == 2);
+  unsetenv("QAVAT_THREADS");
+  set_num_threads(0);
+}
+
+// An exception thrown inside a span cancels the job's remaining spans,
+// propagates to the dispatching caller, and leaves the pool usable.
+void test_exception_propagation() {
+  set_num_threads(4);
+  bool caught = false;
+  try {
+    parallel_for(index_t{0}, index_t{1024}, index_t{8},
+                 [](index_t lo, index_t hi) {
+                   if (lo <= 37 && 37 < hi) {
+                     throw std::runtime_error("span failure at 37");
+                   }
+                 });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    CHECK(std::string(e.what()) == "span failure at 37");
+  }
+  CHECK(caught);
+
+  // Pool still healthy after the failed job: a follow-up dispatch
+  // visits every index exactly once.
+  std::atomic<index_t> visited{0};
+  parallel_for(index_t{0}, index_t{1024}, index_t{8},
+               [&](index_t lo, index_t hi) { visited += hi - lo; });
+  CHECK(visited.load() == 1024);
+  set_num_threads(0);
+}
+
+// Deeply nested dispatch: a depth-8 binary fan-out (256 leaves) must
+// complete (no deadlock — the dispatcher helps and steals while
+// waiting) and never run on more than num_threads() distinct threads
+// (no oversubscription: nested calls enqueue, they do not spawn).
+void test_deep_nesting() {
+  set_num_threads(4);
+  std::atomic<index_t> leaves{0};
+  std::set<std::thread::id> tids;
+  std::mutex mu;
+
+  std::function<void(int)> fan = [&](int depth) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      tids.insert(std::this_thread::get_id());
+    }
+    if (depth == 0) {
+      ++leaves;
+      return;
+    }
+    parallel_for(index_t{0}, index_t{2}, index_t{1},
+                 [&](index_t lo, index_t hi) {
+                   for (index_t i = lo; i < hi; ++i) fan(depth - 1);
+                 });
+  };
+  fan(8);
+  CHECK(leaves.load() == 256);
+  CHECK(static_cast<index_t>(tids.size()) <= num_threads());
+  set_num_threads(0);
+}
+
+}  // namespace
+
+int main() {
+  test_partition_determinism();
+  test_nested_bit_identity();
+  test_pool_restart();
+  test_exception_propagation();
+  test_deep_nesting();
+  return qavat::test::finish("test_thread_pool");
+}
