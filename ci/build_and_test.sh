@@ -149,9 +149,60 @@ for backend in weight_domain circuit int8; do
     exit 1
   fi
 done
+echo "store round-trip: OK (all backends: warm = 0 trainings, byte-identical tables)"
+
+# Concurrent-sweep gate: two bench_table1 processes race against ONE
+# fresh store. The work-claim protocol (DESIGN.md §14) must make them
+# split the work — the summed train_runs across both processes equals
+# the single-process cold run's (every unit trained exactly once, none
+# lost) — and both must print tables byte-identical to the cold
+# reference. Afterwards the store must verify clean and hold no leases.
+echo "== store concurrent sweep (2x bench_table1, one cold store) =="
+SWEEP_STORE="${STORE_TMP}/sweep-store"
+for w in 1 2; do
+  QAVAT_FAST=1 QAVAT_STORE_DIR="${SWEEP_STORE}" \
+    QAVAT_EVAL_BACKEND=weight_domain "${BUILD_DIR}/bench_table1" \
+    > "${STORE_TMP}/sweep.${w}.out" \
+    2> "${STORE_TMP}/sweep.${w}.err" &
+  SWEEP_PID[${w}]=$!
+done
+for w in 1 2; do
+  if ! wait "${SWEEP_PID[${w}]}"; then
+    echo "concurrent sweep gate: worker ${w} failed:" >&2
+    cat "${STORE_TMP}/sweep.${w}.err" >&2
+    exit 1
+  fi
+done
+for w in 1 2; do
+  if ! cmp "${STORE_TMP}/weight_domain.cold.out" "${STORE_TMP}/sweep.${w}.out"
+  then
+    echo "concurrent sweep gate: worker ${w} stdout differs from the" \
+         "single-process cold reference" >&2
+    exit 1
+  fi
+done
+train_runs_of() {
+  sed -n 's/.*\[qavat-session\].* train_runs=\([0-9]*\) .*/\1/p' "$1" | tail -1
+}
+REF_RUNS="$(train_runs_of "${STORE_TMP}/weight_domain.cold.err")"
+W1_RUNS="$(train_runs_of "${STORE_TMP}/sweep.1.err")"
+W2_RUNS="$(train_runs_of "${STORE_TMP}/sweep.2.err")"
+if [[ -z "${REF_RUNS}" || -z "${W1_RUNS}" || -z "${W2_RUNS}" ]]; then
+  echo "concurrent sweep gate: missing train_runs= token in a summary" >&2
+  exit 1
+fi
+if [[ "$((W1_RUNS + W2_RUNS))" -ne "${REF_RUNS}" ]]; then
+  echo "concurrent sweep gate: train_runs ${W1_RUNS}+${W2_RUNS} != single-" \
+       "process ${REF_RUNS} - work was duplicated or lost" >&2
+  exit 1
+fi
+"${BUILD_DIR}/qavat-store" verify --root "${SWEEP_STORE}"
+"${BUILD_DIR}/qavat-store" inspect --root "${SWEEP_STORE}"
+"${BUILD_DIR}/qavat-store" gc --root "${SWEEP_STORE}" --min-age 0
+echo "concurrent sweep: OK (train_runs ${W1_RUNS}+${W2_RUNS} = ${REF_RUNS}," \
+     "byte-identical tables, store verifies clean)"
 rm -rf "${STORE_TMP}"
 trap - EXIT
-echo "store round-trip: OK (all backends: warm = 0 trainings, byte-identical tables)"
 
 # Micro-bench perf record (Release only; skipped when google-benchmark was
 # not found). Writes the machine-readable BENCH_micro.json artifact and

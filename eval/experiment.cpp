@@ -75,10 +75,11 @@ struct LoadedModel {
 };
 
 LoadedModel load_model_from_store(const std::string& key, ModelKind kind,
-                                  const ModelConfig& cfg) {
+                                  const ModelConfig& cfg,
+                                  StoreLoadOutcome* outcome = nullptr) {
   LoadedModel out;
   StateDict sd;
-  if (!store_load_state("models", key, &sd)) return out;
+  if (!store_load_state("models", key, &sd, outcome)) return out;
   const double* acc = sd.find_scalar("clean_test_acc");
   if (acc == nullptr) return out;
   auto model = make_model(kind, cfg);
@@ -86,6 +87,39 @@ LoadedModel load_model_from_store(const std::string& key, ModelKind kind,
   out.model = std::move(model);
   out.clean_test_acc = *acc;
   return out;
+}
+
+// One claim-or-load round trip shared by every read-through cache: loop
+// probing the artifact (probe() returns true on a valid hit) and trying
+// to claim the right to produce it, backing off exponentially while
+// another process holds the lease. Exits in one of two states: `loaded`
+// (another producer published while we waited — nothing to compute), or
+// not loaded with either the claim held or the store disabled/corrupt —
+// in both of which this process computes the unit itself (fail-soft:
+// never blocks on a store that cannot deliver). `saw_corrupt` records
+// whether any probe hit a corrupt (now quarantined) artifact, so the
+// caller can count the recompute as a retrain-after-corruption.
+struct ClaimWait {
+  StoreClaim claim;
+  bool loaded = false;
+  bool saw_corrupt = false;
+};
+
+ClaimWait claim_or_load(const char* bucket, const std::string& key,
+                        const std::function<bool(StoreLoadOutcome*)>& probe) {
+  ClaimWait cw;
+  for (int attempt = 0;; ++attempt) {
+    StoreLoadOutcome outcome = StoreLoadOutcome::kMiss;
+    if (probe(&outcome)) {
+      cw.loaded = true;
+      return cw;
+    }
+    if (outcome == StoreLoadOutcome::kCorrupt) cw.saw_corrupt = true;
+    if (!store_enabled()) return cw;
+    cw.claim = store_try_claim(bucket, key);
+    if (cw.claim.held()) return cw;
+    store_claim_backoff_wait(attempt);
+  }
 }
 
 ModelSnapshot snapshot(Module& model, double clean_acc) {
@@ -149,15 +183,25 @@ double with_result_cache(const std::string& key,
   auto& cache = result_cache();
   auto it = cache.find(key);
   if (it != cache.end()) return it->second;
-  std::vector<double> persisted;
-  if (store_load_doubles("results", key, &persisted) && persisted.size() == 1) {
-    cache.emplace(key, persisted[0]);
-    return persisted[0];
+  double loaded = 0.0;
+  ClaimWait cw = claim_or_load("results", key, [&](StoreLoadOutcome* o) {
+    std::vector<double> persisted;
+    if (!store_load_doubles("results", key, &persisted, o) ||
+        persisted.size() != 1) {
+      return false;
+    }
+    loaded = persisted[0];
+    return true;
+  });
+  if (cw.loaded) {
+    cache.emplace(key, loaded);
+    return loaded;
   }
   const double value = fn();
+  if (cw.saw_corrupt) store_note_retrain_after_corruption();
   cache.emplace(key, value);
   store_save_doubles("results", key, {value});
-  return value;
+  return value;  // cw's claim (if held) releases here, after the publish
 }
 
 EvalStats with_eval_cache(const std::string& key,
@@ -167,19 +211,24 @@ EvalStats with_eval_cache(const std::string& key,
   auto& cache = eval_cache();
   auto it = cache.find(key);
   if (it != cache.end()) return it->second;
-  std::vector<double> per_chip;
-  if (store_load_doubles("evals", key, &per_chip)) {
+  EvalStats loaded;
+  ClaimWait cw = claim_or_load("evals", key, [&](StoreLoadOutcome* o) {
+    std::vector<double> per_chip;
+    if (!store_load_doubles("evals", key, &per_chip, o)) return false;
     // The per-chip vector is the persisted artifact; the summary stats
     // recompute from the exact same doubles, so a warm hit is
     // bit-identical to the cold EvalStats.
-    EvalStats stats;
-    stats.accuracy = Stats::from(per_chip);
-    stats.n_chips = static_cast<index_t>(per_chip.size());
-    stats.per_chip_acc = std::move(per_chip);
-    return cache.emplace(key, std::move(stats)).first->second;
+    loaded.accuracy = Stats::from(per_chip);
+    loaded.n_chips = static_cast<index_t>(per_chip.size());
+    loaded.per_chip_acc = std::move(per_chip);
+    return true;
+  });
+  if (cw.loaded) {
+    return cache.emplace(key, std::move(loaded)).first->second;
   }
   EvalStats stats = fn();
   if (computed != nullptr) *computed = true;
+  if (cw.saw_corrupt) store_note_retrain_after_corruption();
   store_save_doubles("evals", key, stats.per_chip_acc);
   return cache.emplace(key, std::move(stats)).first->second;
 }
@@ -200,21 +249,34 @@ TrainedModel train_cached(ModelKind kind, const ModelConfig& mcfg, TrainAlgo alg
   TrainedModel out;
   auto it = cache.find(key);
   if (it == cache.end()) {
-    // Read-through: probe the disk store for the finished model before
-    // training anything. A hit returns the loaded model directly (the
-    // memory cache keeps a snapshot for later callers).
-    LoadedModel loaded = load_model_from_store(key, kind, mcfg);
-    if (loaded.model != nullptr) {
-      cache.emplace(key, snapshot(*loaded.model, loaded.clean_test_acc));
-      out.clean_test_acc = loaded.clean_test_acc;
-      out.model = std::move(loaded.model);
-      out.from_store = true;
-      return out;
+    // The fine-tuned artifact is its own claim unit: only kQAVAT with
+    // training noise publishes under `key` — kQAT (and noise-free
+    // kQAVAT) degenerate to the pretrain phase, whose artifact lives
+    // under pre_key, so waiting on `key` for them would never end.
+    const bool wants_finetune =
+        algo == TrainAlgo::kQAVAT && tcfg.train_noise.enabled();
+    StoreClaim key_claim;
+    bool key_corrupt = false;
+    if (wants_finetune) {
+      // Read-through with the work-claim protocol: probe the disk store
+      // for the finished model, and on a miss either claim the right to
+      // train it or wait for the process that already did (DESIGN §14).
+      ClaimWait cw = claim_or_load("models", key, [&](StoreLoadOutcome* o) {
+        LoadedModel loaded = load_model_from_store(key, kind, mcfg, o);
+        if (loaded.model == nullptr) return false;
+        cache.emplace(key, snapshot(*loaded.model, loaded.clean_test_acc));
+        out.clean_test_acc = loaded.clean_test_acc;
+        out.model = std::move(loaded.model);
+        out.from_store = true;
+        return true;
+      });
+      if (cw.loaded) return out;
+      key_claim = std::move(cw.claim);
+      key_corrupt = cw.saw_corrupt;
     }
-  }
-  if (it == cache.end()) {
     // Phase 1: QAT pretraining, cached under its own (noise-free) key so
-    // QAT and every QAVAT variant of the same workload share it.
+    // QAT and every QAVAT variant of the same workload share it — its
+    // own claim unit, trained by exactly one process fleet-wide.
     TrainConfig pre = tcfg;
     pre.train_noise = VariabilityConfig{};
     pre.n_variation_samples = 1;
@@ -222,41 +284,43 @@ TrainedModel train_cached(ModelKind kind, const ModelConfig& mcfg, TrainAlgo alg
     bool pre_from_store = false;
     auto pre_it = cache.find(pre_key);
     if (pre_it == cache.end()) {
-      LoadedModel pre_loaded = load_model_from_store(pre_key, kind, mcfg);
-      if (pre_loaded.model != nullptr) {
+      ClaimWait cw = claim_or_load("models", pre_key, [&](StoreLoadOutcome* o) {
+        LoadedModel l = load_model_from_store(pre_key, kind, mcfg, o);
+        if (l.model == nullptr) return false;
         pre_from_store = true;
-        pre_it = cache
-                     .emplace(pre_key, snapshot(*pre_loaded.model,
-                                                pre_loaded.clean_test_acc))
-                     .first;
-      } else {
+        pre_it =
+            cache.emplace(pre_key, snapshot(*l.model, l.clean_test_acc)).first;
+        return true;
+      });
+      if (!cw.loaded) {
         auto model = make_model(kind, mcfg);
         counted_train(*model, data.train, TrainAlgo::kQAT, pre);
         out.trained = true;
+        if (cw.saw_corrupt) store_note_retrain_after_corruption();
         const double acc = evaluate_clean(*model, data.test);
         pre_it = cache.emplace(pre_key, snapshot(*model, acc)).first;
         persist_model(pre_key, *model, acc);
+        // cw's pre_key claim releases here, after the publish.
       }
     }
-    if (algo == TrainAlgo::kQAVAT && tcfg.train_noise.enabled()) {
+    if (wants_finetune) {
       // Phase 2: noisy-forward fine-tuning from the pretrained weights.
       auto model = restore(pre_it->second);
       TrainConfig fine = tcfg;
       fine.lr = tcfg.lr * 0.5;
       counted_train(*model, data.train, TrainAlgo::kQAVAT, fine);
       out.trained = true;
+      if (key_corrupt) store_note_retrain_after_corruption();
       const double acc = evaluate_clean(*model, data.test);
       it = cache.emplace(key, snapshot(*model, acc)).first;
       persist_model(key, *model, acc);
+      key_claim.release();  // publish done: waiters load the artifact now
     } else {
-      it = cache.find(key);
-      if (it == cache.end()) {
-        // kQAVAT with no noise (and kQAT) degenerates to the QAT phase;
-        // the alias stays memory-only — a warm run re-reaches the
-        // pretrained artifact through pre_key without training.
-        it = cache.emplace(key, pre_it->second).first;
-        out.from_store = pre_from_store;
-      }
+      // The alias stays memory-only — a warm run re-reaches the
+      // pretrained artifact through pre_key without training. (For plain
+      // kQAT, key == pre_key and this emplace finds the existing entry.)
+      it = cache.emplace(key, pre_it->second).first;
+      out.from_store = pre_from_store;
     }
   }
   out.model = restore(it->second);
@@ -272,16 +336,16 @@ TrainedModel train_ptq_vat_cached(ModelKind kind, const ModelConfig& mcfg,
   TrainedModel out;
   auto it = cache.find(key);
   if (it == cache.end()) {
-    LoadedModel loaded = load_model_from_store(key, kind, mcfg);
-    if (loaded.model != nullptr) {
+    ClaimWait cw = claim_or_load("models", key, [&](StoreLoadOutcome* o) {
+      LoadedModel loaded = load_model_from_store(key, kind, mcfg, o);
+      if (loaded.model == nullptr) return false;
       cache.emplace(key, snapshot(*loaded.model, loaded.clean_test_acc));
       out.clean_test_acc = loaded.clean_test_acc;
       out.model = std::move(loaded.model);
       out.from_store = true;
-      return out;
-    }
-  }
-  if (it == cache.end()) {
+      return true;
+    });
+    if (cw.loaded) return out;
     auto model = make_model(kind, mcfg);
     model->set_quant_enabled(false);
     // Same total budget as the two-phase recipe: float pretrain + float VAT.
@@ -296,9 +360,11 @@ TrainedModel train_ptq_vat_cached(ModelKind kind, const ModelConfig& mcfg,
     // were calibrated (EMA) during the float training forwards.
     model->set_quant_enabled(true);
     for (QuantLayerBase* q : model->quant_layers()) q->refresh_weight_scale();
+    if (cw.saw_corrupt) store_note_retrain_after_corruption();
     const double acc = evaluate_clean(*model, data.test);
     it = cache.emplace(key, snapshot(*model, acc)).first;
     persist_model(key, *model, acc);
+    // cw's claim (if held) releases at scope exit, after the publish.
   }
   out.model = restore(it->second);
   out.clean_test_acc = it->second.clean_test_acc;

@@ -10,6 +10,15 @@
 // loads its trained models and Monte-Carlo results bit-identically
 // instead of recomputing them. QAVAT_STORE=0 restores the old
 // in-process-only behavior.
+//
+// Misses go through the store's work-claim protocol (DESIGN.md §14):
+// the cache claims the right to produce the artifact, trains/evaluates,
+// publishes, and releases — while waiters back off until the artifact
+// appears (or the lease goes stale and is reclaimed). N concurrent
+// processes sharing one store therefore train each unit exactly once.
+// A corrupt artifact is quarantined by the store and recomputed here,
+// counting toward StoreStats::retrains_after_corruption — corruption is
+// healed, never served and never fatal.
 #pragma once
 
 #include <functional>

@@ -1,5 +1,7 @@
 #include "eval/runner.h"
 
+#include "eval/store.h"
+
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -178,17 +180,37 @@ void Session::print_summary(const char* name) const {
   // The trailing backend token tells the three backends' timings apart in
   // archived bench logs (it names the active QAVAT_EVAL_BACKEND, which
   // default_eval_config applied to every scenario of this session).
+  // `trained` counts scenarios that ran any training; `train_runs` counts
+  // the individual train() phases process-wide — the unit the work-claim
+  // protocol deduplicates, so across N concurrent processes sharing one
+  // cold store the train_runs SUM must equal a single-process cold run's
+  // (the CI concurrent-sweep gate asserts exactly that).
   std::fprintf(
       stderr,
-      "[qavat-session] %s: scenarios=%lld trained=%lld model_store_hits=%lld "
+      "[qavat-session] %s: scenarios=%lld trained=%lld train_runs=%lld "
+      "model_store_hits=%lld "
       "evals_computed=%lld eval_cache_hits=%lld train_s=%.2f eval_s=%.2f "
       "backend=%s\n",
       name, static_cast<long long>(scenarios_),
       static_cast<long long>(trained_),
+      static_cast<long long>(training_runs()),
       static_cast<long long>(model_store_hits_),
       static_cast<long long>(evals_computed_),
       static_cast<long long>(eval_cache_hits_), train_seconds_, eval_seconds_,
       to_string(eval_backend_from_env()));
+  // Store health companion line: the per-category counters that replaced
+  // the single-shot write warning, plus the serialize-layer envelope
+  // checksum verification counters. All zeros on a healthy run.
+  const StoreStats ss = store_stats();
+  const SerializeReadStats rs = serialize_read_stats();
+  std::fprintf(
+      stderr,
+      "[qavat-store] %s: writes_failed=%lld loads_corrupt=%lld "
+      "claims_reclaimed=%lld retrains_after_corruption=%lld tmp_swept=%lld "
+      "faults_injected=%lld envelopes_verified=%lld envelopes_failed=%lld\n",
+      name, ss.writes_failed, ss.loads_corrupt, ss.claims_reclaimed,
+      ss.retrains_after_corruption, ss.tmp_swept, ss.faults_injected,
+      rs.envelopes_verified, rs.envelopes_failed);
 }
 
 }  // namespace qavat

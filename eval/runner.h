@@ -61,10 +61,17 @@ class Session {
   /// session.
   const SplitDataset& dataset(ModelKind kind);
 
-  /// One machine-greppable provenance line on stderr, e.g.
-  /// `[qavat-session] bench: scenarios=30 trained=0 model_store_hits=30
-  /// evals_computed=0 eval_cache_hits=30 train_s=0.00 eval_s=0.00`.
-  /// The CI warm-store gate asserts `trained=0` and `evals_computed=0`.
+  /// Two machine-greppable lines on stderr: the provenance summary, e.g.
+  /// `[qavat-session] bench: scenarios=30 trained=0 train_runs=0
+  /// model_store_hits=30 evals_computed=0 eval_cache_hits=30 train_s=0.00
+  /// eval_s=0.00 backend=weight_domain` (train_runs is the process-wide
+  /// train() phase count the work-claim protocol deduplicates across
+  /// concurrent processes), and the `[qavat-store]` health counters
+  /// (writes_failed, loads_corrupt, claims_reclaimed,
+  /// retrains_after_corruption, tmp_swept, faults_injected, plus the
+  /// serialize-layer envelope checksum counters). The CI warm-store gate
+  /// asserts `trained=0`/`evals_computed=0`; the concurrent-sweep gate
+  /// asserts the train_runs sum across two processes equals one cold run.
   void print_summary(const char* name) const;
 
  private:

@@ -1,13 +1,21 @@
 #include "eval/store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <system_error>
-#include <unistd.h>
+#include <thread>
+#include <vector>
 
 #include "eval/experiment.h"  // fast_mode(): the budget namespace
 
@@ -21,9 +29,122 @@ namespace {
 // mislabeled giant file into memory.
 constexpr std::uintmax_t kMaxDoublesFileBytes = 1u << 24;
 
+// ------------------------------------------------------------ statistics
+
+struct StatsImpl {
+  std::atomic<long long> writes_failed{0};
+  std::atomic<long long> loads_corrupt{0};
+  std::atomic<long long> claims_reclaimed{0};
+  std::atomic<long long> retrains_after_corruption{0};
+  std::atomic<long long> tmp_swept{0};
+  std::atomic<long long> faults_injected{0};
+};
+
+StatsImpl& stats() {
+  static StatsImpl s;
+  return s;
+}
+
+// Counter bump + single-shot stderr warning (the old warn_write_failure
+// flag became the writes_failed counter; the 0->1 transition still
+// warns so an unwritable store is loud even without a summary line).
+void note_write_failure(const std::string& path) {
+  if (stats().writes_failed.fetch_add(1) == 0) {
+    std::fprintf(stderr,
+                 "qavat: artifact store write failed (%s); persistence is off "
+                 "for the unwritable paths (set QAVAT_STORE=0 to silence)\n",
+                 path.c_str());
+  }
+}
+
+// ------------------------------------------------------ fault injection
+
+constexpr int kNumFaultKinds = 4;
+
+struct ArmedFault {
+  StoreFault kind;
+  long long at = 1;    // fire on the at-th matching operation
+  bool fired = false;  // each armed entry fires once
+};
+
+struct FaultState {
+  std::mutex mu;
+  bool parsed = false;
+  std::vector<ArmedFault> armed;
+  long long op_count[kNumFaultKinds] = {0, 0, 0, 0};
+};
+
+FaultState& fault_state() {
+  static FaultState st;
+  return st;
+}
+
+bool parse_fault_kind(const std::string& tok, StoreFault* kind) {
+  if (tok == "kill_before_rename") *kind = StoreFault::kKillBeforeRename;
+  else if (tok == "torn_write") *kind = StoreFault::kTornWrite;
+  else if (tok == "enospc") *kind = StoreFault::kEnospc;
+  else if (tok == "corrupt_read") *kind = StoreFault::kCorruptRead;
+  else return false;
+  return true;
+}
+
+// Parse QAVAT_STORE_FAULT under st.mu. Unknown tokens are skipped with a
+// one-time warning (a typo must not silently disable the whole spec).
+void parse_faults_locked(FaultState& st) {
+  st.parsed = true;
+  st.armed.clear();
+  for (int i = 0; i < kNumFaultKinds; ++i) st.op_count[i] = 0;
+  const char* v = std::getenv("QAVAT_STORE_FAULT");
+  if (v == nullptr || v[0] == '\0') return;
+  std::istringstream is(v);
+  std::string entry;
+  while (std::getline(is, entry, ',')) {
+    if (entry.empty()) continue;
+    std::string tok = entry;
+    long long at = 1;
+    const std::size_t colon = entry.find(':');
+    if (colon != std::string::npos) {
+      tok = entry.substr(0, colon);
+      at = std::strtoll(entry.c_str() + colon + 1, nullptr, 10);
+      if (at < 1) at = 1;
+    }
+    ArmedFault f;
+    if (!parse_fault_kind(tok, &f.kind)) {
+      std::fprintf(stderr, "qavat: unknown QAVAT_STORE_FAULT kind '%s'\n",
+                   tok.c_str());
+      continue;
+    }
+    f.at = at;
+    st.armed.push_back(f);
+  }
+}
+
+// One potential fault site: counts the operation and reports whether an
+// armed entry fires here.
+bool fault_fire(StoreFault kind) {
+  FaultState& st = fault_state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  if (!st.parsed) parse_faults_locked(st);
+  if (st.armed.empty()) return false;
+  const long long n = ++st.op_count[static_cast<int>(kind)];
+  for (ArmedFault& f : st.armed) {
+    if (!f.fired && f.kind == kind && f.at == n) {
+      f.fired = true;
+      stats().faults_injected.fetch_add(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- layout
+
+std::string schema_root() {
+  return store_root() + "/v" + std::to_string(kStoreSchemaVersion);
+}
+
 std::string bucket_dir(const char* bucket) {
-  std::string dir = store_root();
-  dir += "/v" + std::to_string(kStoreSchemaVersion);
+  std::string dir = schema_root();
   dir += fast_mode() ? "/fast/" : "/full/";
   dir += bucket;
   return dir;
@@ -33,17 +154,82 @@ std::string artifact_path(const char* bucket, const std::string& key) {
   return bucket_dir(bucket) + "/" + store_key_filename(key);
 }
 
-void warn_write_failure(const std::string& path) {
-  // Atomic: with pipelined sessions the trainer and consumer threads can
-  // both hit an unwritable store; exchange keeps the warning single-shot
-  // without a race.
-  static std::atomic<bool> warned{false};
-  if (warned.exchange(true)) return;
-  std::fprintf(stderr,
-               "qavat: artifact store write failed (%s); persistence is off "
-               "for the unwritable paths (set QAVAT_STORE=0 to silence)\n",
-               path.c_str());
+// A maintenance file is store machinery, not an artifact: in-flight (or
+// orphaned) tmp writes, claim leases, and reclaim-rename leftovers.
+bool is_tmp_file(const fs::path& p) {
+  return p.filename().string().find(".tmp.") != std::string::npos;
 }
+bool is_claim_file(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name.size() >= 6 && (name.rfind(".claim") == name.size() - 6 ||
+                              name.find(".claim.reclaim.") != std::string::npos);
+}
+
+// Age of a file in seconds via its mtime; negative when it vanished.
+double file_age_seconds(const fs::path& p) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(p, ec);
+  if (ec) return -1.0;
+  const auto now = fs::file_time_type::clock::now();
+  return std::chrono::duration<double>(now - mtime).count();
+}
+
+void quarantine_file(const fs::path& path) {
+  static std::atomic<long long> seq{0};
+  std::error_code ec;
+  const fs::path qdir = store_quarantine_dir();
+  fs::create_directories(qdir, ec);
+  std::ostringstream name;
+  name << path.filename().string() << "." << ::getpid() << "."
+       << seq.fetch_add(1);
+  fs::rename(path, qdir / name.str(), ec);
+  // Cross-device or raced rename: removing the bad artifact still
+  // guarantees it is never served again.
+  if (ec) fs::remove(path, ec);
+}
+
+// Remove maintenance files older than min_age under `root`. Claims are
+// only swept when `claims` is set (the opportunistic per-process sweep
+// leaves lease arbitration to store_try_claim's reclaim path).
+void sweep_maintenance_files(const fs::path& root, double min_age,
+                             bool claims, long long* tmp_removed,
+                             long long* claims_removed) {
+  std::error_code ec;
+  if (!fs::exists(root, ec)) return;
+  for (auto it = fs::recursive_directory_iterator(
+           root, fs::directory_options::skip_permission_denied, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    const bool tmp = is_tmp_file(p);
+    const bool claim = !tmp && claims && is_claim_file(p);
+    if (!tmp && !claim) continue;
+    const double age = file_age_seconds(p);
+    if (age < 0.0 || age < min_age) continue;
+    std::error_code rec;
+    if (fs::remove(p, rec) && !rec) {
+      if (tmp) {
+        if (tmp_removed != nullptr) ++*tmp_removed;
+        stats().tmp_swept.fetch_add(1);
+      } else if (claims_removed != nullptr) {
+        ++*claims_removed;
+      }
+    }
+  }
+}
+
+// Once per process, at the first store operation: sweep tmp droppings a
+// crashed writer left behind, skipping anything younger than the claim
+// TTL (it may be a live writer's in-flight file).
+void opportunistic_sweep() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    sweep_maintenance_files(schema_root(), store_claim_ttl_seconds(),
+                            /*claims=*/false, nullptr, nullptr);
+  });
+}
+
+// ------------------------------------------------------------- write path
 
 // Publish `tmp` as `path` atomically; returns false (removing tmp) on
 // failure. rename(2) replaces an existing destination in one step.
@@ -65,6 +251,103 @@ fs::path tmp_path_for(const fs::path& path) {
   return os.str();
 }
 
+bool store_fsync_enabled() {
+  const char* v = std::getenv("QAVAT_STORE_FSYNC");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+void fsync_path(const fs::path& p) {
+  const int fd = ::open(p.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+// Shared artifact writer: tmp file in the destination directory, all
+// fault-injection points, optional durability (QAVAT_STORE_FSYNC=1:
+// fsync the tmp before the rename and the directory after it, so a
+// published artifact survives power loss — off by default to keep the
+// warm path cheap), then the atomic publishing rename.
+bool write_artifact(const fs::path& path, const std::string& bytes) {
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (fault_fire(StoreFault::kEnospc)) {
+    note_write_failure(path.string());
+    return false;
+  }
+  const fs::path tmp = tmp_path_for(path);
+  std::size_t n = bytes.size();
+  if (fault_fire(StoreFault::kTornWrite)) n /= 2;
+  {
+    std::ofstream os(tmp, std::ios::binary);
+    if (!os) {
+      note_write_failure(path.string());
+      return false;
+    }
+    os.write(bytes.data(), static_cast<std::streamsize>(n));
+    os.flush();
+    if (!os) {
+      note_write_failure(path.string());
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  if (store_fsync_enabled()) fsync_path(tmp);
+  if (fault_fire(StoreFault::kKillBeforeRename)) ::_exit(kFaultKillExitCode);
+  if (!publish(tmp, path)) {
+    note_write_failure(path.string());
+    return false;
+  }
+  if (store_fsync_enabled()) fsync_path(path.parent_path());
+  return true;
+}
+
+// -------------------------------------------------------------- read path
+
+// Read a whole artifact into memory (the corrupt_read fault flips one
+// byte here, downstream of the real file). False = missing/unreadable.
+bool read_artifact(const fs::path& path, std::string* bytes) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *bytes = ss.str();
+  if (fault_fire(StoreFault::kCorruptRead) && !bytes->empty()) {
+    (*bytes)[bytes->size() / 2] ^= 0x5a;
+  }
+  return true;
+}
+
+bool parse_doubles(const std::string& bytes, std::vector<double>* out) {
+  std::istringstream is(bytes);
+  std::string tag;
+  int version = 0;
+  std::size_t n = 0;
+  if (!(is >> tag >> version >> n) || tag != "qavat-doubles" ||
+      version != kStoreSchemaVersion || n > (1u << 20)) {
+    return false;
+  }
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> values[i])) return false;
+  }
+  *out = std::move(values);
+  return true;
+}
+
+void set_outcome(StoreLoadOutcome* outcome, StoreLoadOutcome v) {
+  if (outcome != nullptr) *outcome = v;
+}
+
+// Corrupt-load epilogue shared by both load paths: count, quarantine,
+// report.
+bool reject_corrupt(const fs::path& path, StoreLoadOutcome* outcome) {
+  stats().loads_corrupt.fetch_add(1);
+  quarantine_file(path);
+  set_outcome(outcome, StoreLoadOutcome::kCorrupt);
+  return false;
+}
+
 }  // namespace
 
 bool store_enabled() {
@@ -77,6 +360,8 @@ std::string store_root() {
   if (v != nullptr && v[0] != '\0') return v;
   return "artifacts/store";
 }
+
+std::string store_quarantine_dir() { return store_root() + "/quarantine"; }
 
 std::string store_key_filename(const std::string& key) {
   // Keys are space-free by contract, but be defensive: map anything
@@ -103,103 +388,350 @@ std::string store_key_filename(const std::string& key) {
 }
 
 bool store_load_doubles(const char* bucket, const std::string& key,
-                        std::vector<double>* out) {
+                        std::vector<double>* out, StoreLoadOutcome* outcome) {
+  set_outcome(outcome, StoreLoadOutcome::kMiss);
   if (!store_enabled()) return false;
+  opportunistic_sweep();
   const fs::path path = artifact_path(bucket, key);
   std::error_code ec;
   const auto size = fs::file_size(path, ec);
-  if (ec || size > kMaxDoublesFileBytes) return false;
-  std::ifstream is(path);
-  if (!is) return false;
-  std::string tag;
-  int version = 0;
-  std::size_t n = 0;
-  if (!(is >> tag >> version >> n) || tag != "qavat-doubles" ||
-      version != kStoreSchemaVersion || n > (1u << 20)) {
-    return false;
-  }
-  std::vector<double> values(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!(is >> values[i])) return false;
-  }
-  *out = std::move(values);
+  if (ec) return false;
+  if (size > kMaxDoublesFileBytes) return reject_corrupt(path, outcome);
+  std::string bytes;
+  if (!read_artifact(path, &bytes)) return false;
+  if (!parse_doubles(bytes, out)) return reject_corrupt(path, outcome);
+  set_outcome(outcome, StoreLoadOutcome::kHit);
   return true;
 }
 
 bool store_save_doubles(const char* bucket, const std::string& key,
                         const std::vector<double>& values) {
   if (!store_enabled()) return false;
-  const fs::path path = artifact_path(bucket, key);
-  std::error_code ec;
-  fs::create_directories(path.parent_path(), ec);
-  const fs::path tmp = tmp_path_for(path);
-  {
-    std::ofstream os(tmp);
-    if (!os) {
-      warn_write_failure(path.string());
-      return false;
-    }
-    os << "qavat-doubles " << kStoreSchemaVersion << " " << values.size()
-       << "\n";
-    char buf[40];
-    for (double v : values) {
-      std::snprintf(buf, sizeof(buf), "%.17g", v);
-      os << buf << "\n";
-    }
-    os.flush();
-    if (!os) {
-      warn_write_failure(path.string());
-      fs::remove(tmp, ec);
-      return false;
-    }
+  opportunistic_sweep();
+  std::ostringstream os;
+  os << "qavat-doubles " << kStoreSchemaVersion << " " << values.size()
+     << "\n";
+  char buf[40];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf << "\n";
   }
-  if (!publish(tmp, path)) {
-    warn_write_failure(path.string());
-    return false;
-  }
-  return true;
+  return write_artifact(artifact_path(bucket, key), os.str());
 }
 
 bool store_load_state(const char* bucket, const std::string& key,
-                      StateDict* out) {
+                      StateDict* out, StoreLoadOutcome* outcome) {
+  set_outcome(outcome, StoreLoadOutcome::kMiss);
   if (!store_enabled()) return false;
-  std::ifstream is(artifact_path(bucket, key), std::ios::binary);
-  if (!is) return false;
-  return load_state_dict(is, out);
+  opportunistic_sweep();
+  const fs::path path = artifact_path(bucket, key);
+  std::string bytes;
+  if (!read_artifact(path, &bytes)) return false;
+  std::istringstream is(bytes);
+  if (!load_state_dict(is, out)) return reject_corrupt(path, outcome);
+  set_outcome(outcome, StoreLoadOutcome::kHit);
+  return true;
 }
 
 bool store_save_state(const char* bucket, const std::string& key,
                       const StateDict& sd) {
   if (!store_enabled()) return false;
-  const fs::path path = artifact_path(bucket, key);
-  std::error_code ec;
-  fs::create_directories(path.parent_path(), ec);
-  const fs::path tmp = tmp_path_for(path);
-  {
-    std::ofstream os(tmp, std::ios::binary);
-    if (!os) {
-      warn_write_failure(path.string());
-      return false;
-    }
-    save_state_dict(os, sd);
-    os.flush();
-    if (!os) {
-      warn_write_failure(path.string());
-      fs::remove(tmp, ec);
-      return false;
-    }
-  }
-  if (!publish(tmp, path)) {
-    warn_write_failure(path.string());
-    return false;
-  }
-  return true;
+  opportunistic_sweep();
+  std::ostringstream os;
+  save_state_dict(os, sd);
+  return write_artifact(artifact_path(bucket, key), os.str());
 }
 
 void store_drop_all() {
   std::error_code ec;
-  fs::remove_all(store_root() + "/v" + std::to_string(kStoreSchemaVersion),
-                 ec);
+  fs::remove_all(schema_root(), ec);
+}
+
+// ------------------------------------------------------------ statistics
+
+StoreStats store_stats() {
+  StoreStats s;
+  s.writes_failed = stats().writes_failed.load();
+  s.loads_corrupt = stats().loads_corrupt.load();
+  s.claims_reclaimed = stats().claims_reclaimed.load();
+  s.retrains_after_corruption = stats().retrains_after_corruption.load();
+  s.tmp_swept = stats().tmp_swept.load();
+  s.faults_injected = stats().faults_injected.load();
+  return s;
+}
+
+void store_stats_reset() {
+  stats().writes_failed.store(0);
+  stats().loads_corrupt.store(0);
+  stats().claims_reclaimed.store(0);
+  stats().retrains_after_corruption.store(0);
+  stats().tmp_swept.store(0);
+  stats().faults_injected.store(0);
+}
+
+void store_note_retrain_after_corruption() {
+  stats().retrains_after_corruption.fetch_add(1);
+}
+
+// ------------------------------------------------- work-claim protocol
+
+double store_claim_ttl_seconds() {
+  const char* v = std::getenv("QAVAT_CLAIM_TTL_S");
+  if (v != nullptr && v[0] != '\0') {
+    char* end = nullptr;
+    const double d = std::strtod(v, &end);
+    if (end != v && d >= 0.0) return d;
+  }
+  return 120.0;
+}
+
+long long store_claim_backoff_ms() {
+  const char* v = std::getenv("QAVAT_CLAIM_BACKOFF_MS");
+  if (v != nullptr && v[0] != '\0') {
+    const long long n = std::strtoll(v, nullptr, 10);
+    if (n >= 0) return n;
+  }
+  return 25;
+}
+
+struct StoreClaim::Impl {
+  fs::path path;
+  std::string token;          // identifies this lease in the file content
+  std::atomic<bool> lost{false};  // claim file vanished (we were reclaimed)
+  long long beat = 0;
+  std::thread beater;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+
+  // Rewrite the claim content (pid, host, token, heartbeat count) and
+  // thereby its mtime. No O_CREAT on refresh: if the file was reclaimed
+  // from under us, recreating it would resurrect a lease another
+  // process now legitimately holds — instead mark ourselves lost.
+  bool write_content(bool create) {
+    const int flags = O_WRONLY | O_TRUNC | (create ? O_CREAT | O_EXCL : 0);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      if (!create) lost.store(true);
+      return false;
+    }
+    char host[256] = "?";
+    ::gethostname(host, sizeof(host) - 1);
+    std::ostringstream os;
+    os << "qavat-claim " << ::getpid() << " " << host << " " << token << " "
+       << beat << "\n";
+    const std::string s = os.str();
+    const ssize_t written = ::write(fd, s.data(), s.size());
+    ::close(fd);
+    return written == static_cast<ssize_t>(s.size());
+  }
+
+  void start_beater() {
+    beater = std::thread([this] {
+      const double ttl = store_claim_ttl_seconds();
+      double period = ttl / 3.0;
+      if (period < 0.05) period = 0.05;
+      if (period > 10.0) period = 10.0;
+      std::unique_lock<std::mutex> lk(mu);
+      while (!cv.wait_for(lk, std::chrono::duration<double>(period),
+                          [this] { return stop; })) {
+        if (lost.load()) return;
+        ++beat;
+        write_content(/*create=*/false);
+      }
+    });
+  }
+
+  void stop_beater() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      stop = true;
+    }
+    cv.notify_all();
+    if (beater.joinable()) beater.join();
+  }
+};
+
+StoreClaim::StoreClaim() = default;
+StoreClaim::~StoreClaim() { release(); }
+StoreClaim::StoreClaim(StoreClaim&& other) noexcept = default;
+StoreClaim& StoreClaim::operator=(StoreClaim&& other) noexcept {
+  if (this != &other) {
+    release();
+    impl_ = std::move(other.impl_);
+  }
+  return *this;
+}
+
+void StoreClaim::release() {
+  if (impl_ == nullptr) return;
+  impl_->stop_beater();
+  if (!impl_->lost.load()) {
+    // Unlink only our own lease: after a stale reclaim another process
+    // may have created a fresh claim at the same path.
+    std::ifstream is(impl_->path);
+    std::string tag, pid, host, tok;
+    if (is >> tag >> pid >> host >> tok && tok == impl_->token) {
+      std::error_code ec;
+      fs::remove(impl_->path, ec);
+    }
+  }
+  impl_.reset();
+}
+
+StoreClaim store_try_claim(const char* bucket, const std::string& key) {
+  StoreClaim claim;
+  if (!store_enabled()) return claim;
+  opportunistic_sweep();
+  const fs::path path = artifact_path(bucket, key) + ".claim";
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+
+  // Token unique enough across the fleet: pid + a process-local counter
+  // + steady-clock ticks (two processes can share a pid across hosts,
+  // but not a tick count at nanosecond resolution in practice).
+  static std::atomic<long long> token_seq{0};
+  std::ostringstream tok;
+  tok << std::hex << ::getpid() << "-" << token_seq.fetch_add(1) << "-"
+      << std::chrono::steady_clock::now().time_since_epoch().count();
+
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    // Not make_unique: Impl is private to StoreClaim and only this
+    // friend function may lexically contain the new-expression.
+    std::unique_ptr<StoreClaim::Impl> impl(new StoreClaim::Impl);
+    impl->path = path;
+    impl->token = tok.str();
+    if (impl->write_content(/*create=*/true)) {
+      impl->start_beater();
+      claim.impl_ = std::move(impl);
+      return claim;
+    }
+    // EEXIST (or unwritable): is the existing lease stale? A live
+    // holder's heartbeat keeps the mtime younger than the TTL.
+    const double age = file_age_seconds(path);
+    if (age < 0.0) continue;  // vanished between probes: retry create
+    if (age < store_claim_ttl_seconds()) return claim;  // live holder
+    // Reclaim: atomically steal the stale file via rename, so exactly
+    // one of several racing reclaimers wins; then retry the create.
+    fs::path steal = path;
+    steal += ".reclaim." + std::to_string(::getpid());
+    fs::rename(path, steal, ec);
+    if (!ec) {
+      fs::remove(steal, ec);
+      stats().claims_reclaimed.fetch_add(1);
+    }
+  }
+  return claim;
+}
+
+void store_claim_backoff_wait(int attempt) {
+  long long ms = store_claim_backoff_ms();
+  if (ms < 1) ms = 1;
+  const int shift = attempt < 6 ? attempt : 6;
+  ms <<= shift;
+  if (ms > 2000) ms = 2000;
+  // ±25% jitter from a per-process LCG: waiters across a fleet must not
+  // re-probe in lockstep.
+  static std::atomic<unsigned> state{
+      static_cast<unsigned>(::getpid()) * 2654435761u};
+  unsigned s = state.fetch_add(1);
+  s = s * 1103515245u + 12345u;
+  ms = ms * 3 / 4 + static_cast<long long>(s % (ms / 2 + 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void store_fault_reload() {
+  FaultState& st = fault_state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  parse_faults_locked(st);
+}
+
+// ---------------------------------------------------------- maintenance
+
+StoreGcResult store_gc(double min_age_s, bool evict_quarantine) {
+  StoreGcResult res;
+  sweep_maintenance_files(schema_root(), min_age_s, /*claims=*/true,
+                          &res.tmp_removed, &res.claims_removed);
+  if (evict_quarantine) {
+    std::error_code ec;
+    const fs::path qdir = store_quarantine_dir();
+    if (fs::exists(qdir, ec)) {
+      for (auto it = fs::directory_iterator(qdir, ec);
+           !ec && it != fs::directory_iterator(); it.increment(ec)) {
+        if (!it->is_regular_file(ec)) continue;
+        const double age = file_age_seconds(it->path());
+        if (age < 0.0 || age < min_age_s) continue;
+        std::error_code rec;
+        if (fs::remove(it->path(), rec) && !rec) ++res.quarantine_removed;
+      }
+    }
+  }
+  return res;
+}
+
+StoreVerifyResult store_verify_all(bool quarantine_bad) {
+  StoreVerifyResult res;
+  std::error_code ec;
+  const fs::path root = schema_root();
+  if (!fs::exists(root, ec)) return res;
+  for (auto it = fs::recursive_directory_iterator(
+           root, fs::directory_options::skip_permission_denied, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    if (is_tmp_file(p) || is_claim_file(p)) continue;
+    std::string bytes;
+    bool ok = read_artifact(p, &bytes);
+    if (ok) {
+      // Sniff the format from the leading bytes: state-dict envelopes
+      // start with the "QVSD" magic (tensors "QVTN"), double vectors
+      // with the "qavat-doubles" header line.
+      if (bytes.rfind("QVSD", 0) == 0) {
+        StateDict sd;
+        std::istringstream is(bytes);
+        ok = load_state_dict(is, &sd);
+      } else if (bytes.rfind("QVTN", 0) == 0) {
+        Tensor t;
+        std::istringstream is(bytes);
+        ok = load_tensor(is, &t);
+      } else if (bytes.rfind("qavat-doubles", 0) == 0) {
+        std::vector<double> v;
+        ok = parse_doubles(bytes, &v);
+      } else {
+        ok = false;
+      }
+    }
+    if (ok) {
+      ++res.ok;
+    } else {
+      ++res.corrupt;
+      res.corrupt_paths.push_back(p.string());
+      if (quarantine_bad) {
+        stats().loads_corrupt.fetch_add(1);
+        quarantine_file(p);
+      }
+    }
+  }
+  return res;
+}
+
+long long store_evict_older_than(double seconds) {
+  long long removed = 0;
+  std::error_code ec;
+  const fs::path root = schema_root();
+  if (!fs::exists(root, ec)) return removed;
+  for (auto it = fs::recursive_directory_iterator(
+           root, fs::directory_options::skip_permission_denied, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    if (is_tmp_file(p) || is_claim_file(p)) continue;
+    const double age = file_age_seconds(p);
+    if (age < 0.0 || age < seconds) continue;
+    std::error_code rec;
+    if (fs::remove(p, rec) && !rec) ++removed;
+  }
+  return removed;
 }
 
 }  // namespace qavat

@@ -1,5 +1,6 @@
 #include "tensor/serialize.h"
 
+#include <atomic>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -18,6 +19,17 @@ constexpr std::uint32_t kMaxNdim = 16;
 
 constexpr char kTensorMagic[4] = {'Q', 'V', 'T', 'N'};
 constexpr char kDictMagic[4] = {'Q', 'V', 'S', 'D'};
+
+// Process-wide envelope read counters (serialize_read_stats()). Relaxed:
+// they are monotonic telemetry, never synchronization.
+std::atomic<long long>& verified_counter() {
+  static std::atomic<long long> n{0};
+  return n;
+}
+std::atomic<long long>& failed_counter() {
+  static std::atomic<long long> n{0};
+  return n;
+}
 
 // -- payload writer: append native-endian PODs to a byte buffer ----------
 
@@ -104,8 +116,8 @@ void write_envelope(std::ostream& os, const char magic[4],
   os.write(reinterpret_cast<const char*>(&hash), sizeof(hash));
 }
 
-bool read_envelope(std::istream& is, const char magic[4],
-                   std::string* payload) {
+bool read_envelope_impl(std::istream& is, const char magic[4],
+                        std::string* payload) {
   char m[4];
   std::uint32_t version = 0;
   std::uint64_t size = 0;
@@ -128,7 +140,23 @@ bool read_envelope(std::istream& is, const char magic[4],
   return hash == fnv1a64(*payload);
 }
 
+// Counting wrapper: every envelope read lands in serialize_read_stats().
+bool read_envelope(std::istream& is, const char magic[4],
+                   std::string* payload) {
+  const bool ok = read_envelope_impl(is, magic, payload);
+  (ok ? verified_counter() : failed_counter())
+      .fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
 }  // namespace
+
+SerializeReadStats serialize_read_stats() {
+  SerializeReadStats s;
+  s.envelopes_verified = verified_counter().load(std::memory_order_relaxed);
+  s.envelopes_failed = failed_counter().load(std::memory_order_relaxed);
+  return s;
+}
 
 std::uint64_t fnv1a64(const std::string& bytes) {
   std::uint64_t h = 1469598103934665603ull;

@@ -27,6 +27,22 @@ inline constexpr std::uint32_t kSerializeVersion = 1;
 /// reused by the artifact store for stable key-to-filename mapping.
 std::uint64_t fnv1a64(const std::string& bytes);
 
+/// Snapshot of the process-wide envelope read counters: every envelope
+/// read verifies the trailing checksum, and these counters make that
+/// observable — `verified` counts envelopes that passed the full header
+/// + checksum validation, `failed` counts rejected ones (bad magic,
+/// future version, oversize, truncation, or checksum mismatch). The
+/// artifact store surfaces them in the `[qavat-store]` session summary
+/// so silent corruption shows up in bench logs.
+struct SerializeReadStats {
+  long long envelopes_verified = 0;  ///< envelopes read and checksum-OK
+  long long envelopes_failed = 0;    ///< envelopes rejected on read
+};
+
+/// Current values of the process-wide envelope read counters (relaxed
+/// atomics; cheap to call).
+SerializeReadStats serialize_read_stats();
+
 /// Ordered collection of named tensors and named scalars — the
 /// serializable snapshot of a model (parameters, quantizer scales,
 /// metadata). Order is preserved on round-trip; names are unique by
