@@ -94,11 +94,15 @@ LoadedModel load_model_from_store(const std::string& key, ModelKind kind,
 // to claim the right to produce it, backing off exponentially while
 // another process holds the lease. Exits in one of two states: `loaded`
 // (another producer published while we waited — nothing to compute), or
-// not loaded with either the claim held or the store disabled/corrupt —
-// in both of which this process computes the unit itself (fail-soft:
-// never blocks on a store that cannot deliver). `saw_corrupt` records
-// whether any probe hit a corrupt (now quarantined) artifact, so the
-// caller can count the recompute as a retrain-after-corruption.
+// not loaded with either the claim held or the store
+// disabled/corrupt/claim-less — in all of which this process computes
+// the unit itself (fail-soft: never blocks on a store that cannot
+// deliver). The loop only continues while store_try_claim reports a
+// live lease (kBusy); a store where claims can never be created
+// (kUnavailable: read-only root, EACCES, persistent ENOSPC) falls
+// through to local compute instead of spinning forever. `saw_corrupt`
+// records whether any probe hit a corrupt (now quarantined) artifact,
+// so the caller can count the recompute as a retrain-after-corruption.
 struct ClaimWait {
   StoreClaim claim;
   bool loaded = false;
@@ -116,8 +120,10 @@ ClaimWait claim_or_load(const char* bucket, const std::string& key,
     }
     if (outcome == StoreLoadOutcome::kCorrupt) cw.saw_corrupt = true;
     if (!store_enabled()) return cw;
-    cw.claim = store_try_claim(bucket, key);
+    StoreClaimStatus status = StoreClaimStatus::kBusy;
+    cw.claim = store_try_claim(bucket, key, &status);
     if (cw.claim.held()) return cw;
+    if (status == StoreClaimStatus::kUnavailable) return cw;
     store_claim_backoff_wait(attempt);
   }
 }

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -504,26 +505,70 @@ struct StoreClaim::Impl {
   std::condition_variable cv;
   bool stop = false;
 
-  // Rewrite the claim content (pid, host, token, heartbeat count) and
-  // thereby its mtime. No O_CREAT on refresh: if the file was reclaimed
-  // from under us, recreating it would resurrect a lease another
-  // process now legitimately holds — instead mark ourselves lost.
-  bool write_content(bool create) {
-    const int flags = O_WRONLY | O_TRUNC | (create ? O_CREAT | O_EXCL : 0);
-    const int fd = ::open(path.c_str(), flags, 0644);
-    if (fd < 0) {
-      if (!create) lost.store(true);
-      return false;
-    }
+  // Claim-file content: pid, host, token, heartbeat count.
+  std::string render() const {
     char host[256] = "?";
     ::gethostname(host, sizeof(host) - 1);
     std::ostringstream os;
     os << "qavat-claim " << ::getpid() << " " << host << " " << token << " "
        << beat << "\n";
-    const std::string s = os.str();
+    return os.str();
+  }
+
+  // Does the claim file at `path` still carry this lease's token?
+  bool token_matches() const {
+    std::ifstream is(path);
+    std::string tag, pid, host, tok;
+    return static_cast<bool>(is >> tag >> pid >> host >> tok) &&
+           tok == token;
+  }
+
+  enum class Create {
+    kOk,      // file created and written: the lease is ours
+    kExists,  // another claim file is already there (EEXIST)
+    kError,   // claims cannot be created here (EACCES, ENOSPC, ...)
+  };
+
+  // Atomically create the claim file. A write failure after a
+  // successful O_CREAT|O_EXCL (e.g. ENOSPC) unlinks the file again: a
+  // half-written claim with no heartbeater would otherwise block every
+  // claimant — including this process — for a full TTL per round.
+  Create create_content() {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) return errno == EEXIST ? Create::kExists : Create::kError;
+    const std::string s = render();
     const ssize_t written = ::write(fd, s.data(), s.size());
     ::close(fd);
-    return written == static_cast<ssize_t>(s.size());
+    if (written != static_cast<ssize_t>(s.size())) {
+      std::error_code ec;
+      fs::remove(path, ec);
+      return Create::kError;
+    }
+    return Create::kOk;
+  }
+
+  // Heartbeat refresh: rewrite the claim content (and thereby its
+  // mtime) — but only after verifying the file still carries our
+  // token. A holder stalled past its TTL may have been reclaimed and a
+  // new lease created at the same path; truncating that (or recreating
+  // a vanished file via O_CREAT) would resurrect a lease another
+  // process now legitimately holds. On mismatch mark ourselves lost.
+  void refresh_content() {
+    if (!token_matches()) {
+      lost.store(true);
+      return;
+    }
+    const int fd = ::open(path.c_str(), O_WRONLY | O_TRUNC);
+    if (fd < 0) {
+      lost.store(true);
+      return;
+    }
+    const std::string s = render();
+    const ssize_t written = ::write(fd, s.data(), s.size());
+    ::close(fd);
+    // A short write garbles our own token; the next beat then marks
+    // the lease lost — fail-soft to duplicate work, never a hang.
+    (void)written;
   }
 
   void start_beater() {
@@ -537,7 +582,7 @@ struct StoreClaim::Impl {
                           [this] { return stop; })) {
         if (lost.load()) return;
         ++beat;
-        write_content(/*create=*/false);
+        refresh_content();
       }
     });
   }
@@ -568,10 +613,14 @@ void StoreClaim::release() {
   impl_->stop_beater();
   if (!impl_->lost.load()) {
     // Unlink only our own lease: after a stale reclaim another process
-    // may have created a fresh claim at the same path.
-    std::ifstream is(impl_->path);
-    std::string tag, pid, host, tok;
-    if (is >> tag >> pid >> host >> tok && tok == impl_->token) {
+    // may have created a fresh claim at the same path. The
+    // verify-then-remove pair is not atomic — a reclaim landing in
+    // between deletes the successor's fresh lease — but the window is
+    // microseconds, only reachable for a holder releasing right at the
+    // TTL boundary (heartbeats keep a live lease far from stale), and
+    // the worst case is one duplicated training whose publish is
+    // idempotent. Tolerated rather than widening the protocol.
+    if (impl_->token_matches()) {
       std::error_code ec;
       fs::remove(impl_->path, ec);
     }
@@ -579,9 +628,14 @@ void StoreClaim::release() {
   impl_.reset();
 }
 
-StoreClaim store_try_claim(const char* bucket, const std::string& key) {
+StoreClaim store_try_claim(const char* bucket, const std::string& key,
+                           StoreClaimStatus* status) {
   StoreClaim claim;
-  if (!store_enabled()) return claim;
+  StoreClaimStatus st = StoreClaimStatus::kBusy;
+  if (!store_enabled()) {
+    if (status != nullptr) *status = st;
+    return claim;
+  }
   opportunistic_sweep();
   const fs::path path = artifact_path(bucket, key) + ".claim";
   std::error_code ec;
@@ -601,16 +655,26 @@ StoreClaim store_try_claim(const char* bucket, const std::string& key) {
     std::unique_ptr<StoreClaim::Impl> impl(new StoreClaim::Impl);
     impl->path = path;
     impl->token = tok.str();
-    if (impl->write_content(/*create=*/true)) {
+    const StoreClaim::Impl::Create created = impl->create_content();
+    if (created == StoreClaim::Impl::Create::kOk) {
       impl->start_beater();
       claim.impl_ = std::move(impl);
-      return claim;
+      st = StoreClaimStatus::kAcquired;
+      break;
     }
-    // EEXIST (or unwritable): is the existing lease stale? A live
-    // holder's heartbeat keeps the mtime younger than the TTL.
+    if (created == StoreClaim::Impl::Create::kError) {
+      // Not EEXIST: the store cannot host claim files at all
+      // (read-only root, EACCES, persistent ENOSPC). Report
+      // kUnavailable so waiters fall back to computing locally instead
+      // of spinning forever — the fail-soft contract.
+      st = StoreClaimStatus::kUnavailable;
+      break;
+    }
+    // EEXIST: is the existing lease stale? A live holder's heartbeat
+    // keeps the mtime younger than the TTL.
     const double age = file_age_seconds(path);
     if (age < 0.0) continue;  // vanished between probes: retry create
-    if (age < store_claim_ttl_seconds()) return claim;  // live holder
+    if (age < store_claim_ttl_seconds()) break;  // live holder: kBusy
     // Reclaim: atomically steal the stale file via rename, so exactly
     // one of several racing reclaimers wins; then retry the create.
     fs::path steal = path;
@@ -619,8 +683,17 @@ StoreClaim store_try_claim(const char* bucket, const std::string& key) {
     if (!ec) {
       fs::remove(steal, ec);
       stats().claims_reclaimed.fetch_add(1);
+    } else if (ec != std::errc::no_such_file_or_directory) {
+      // Losing the reclaim race reads ENOENT; anything else means the
+      // stale lease can never be cleared from here (read-only root) —
+      // waiting on it would hang every claimant forever.
+      st = StoreClaimStatus::kUnavailable;
+      break;
     }
   }
+  // Attempt exhaustion (repeated vanish/reclaim races) stays kBusy:
+  // others are demonstrably making progress on this key.
+  if (status != nullptr) *status = st;
   return claim;
 }
 

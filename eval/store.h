@@ -133,13 +133,27 @@ void store_note_retrain_after_corruption();
 
 // ------------------------------------------------- work-claim protocol
 
+/// Why store_try_claim() returned without the lease (or with it) —
+/// waiters must tell "someone else is producing this" (keep backing
+/// off) from "claims cannot exist here" (stop waiting and compute
+/// locally, preserving the store's fail-soft contract).
+enum class StoreClaimStatus {
+  kAcquired,     ///< the returned claim is held
+  kBusy,         ///< a live holder's lease was observed (or the store
+                 ///< is disabled); backing off is productive
+  kUnavailable,  ///< the claim file can never be created here (EACCES,
+                 ///< read-only root, persistent ENOSPC, ...); waiting
+                 ///< would hang forever
+};
+
 /// RAII lease on the right to produce one artifact. Obtained via
 /// store_try_claim(); while held, a background heartbeat thread
 /// refreshes the claim file every TTL/3 so live holders are never
-/// reclaimed, however long training takes. The destructor (or
-/// release()) removes the claim file — but only if it still carries
-/// this claim's token, so a holder that was declared stale and
-/// reclaimed can never delete the new holder's lease.
+/// reclaimed, however long training takes. Every refresh first
+/// verifies the file still carries this claim's token — a holder that
+/// stalled past its TTL and was reclaimed marks itself lost instead of
+/// truncating the new holder's lease. The destructor (or release())
+/// removes the claim file under the same token check.
 class StoreClaim {
  public:
   StoreClaim();
@@ -158,7 +172,8 @@ class StoreClaim {
   struct Impl;
   std::unique_ptr<Impl> impl_;
   friend StoreClaim store_try_claim(const char* bucket,
-                                    const std::string& key);
+                                    const std::string& key,
+                                    StoreClaimStatus* status);
 };
 
 /// Try to acquire the work-claim lease for (bucket, key): atomically
@@ -168,10 +183,16 @@ class StoreClaim {
 /// holder stops heartbeating), the stale lease is reclaimed via an
 /// atomic rename (exactly one of several racing reclaimers wins) and
 /// acquisition is retried. Returns a non-held claim when another live
-/// process holds the lease or the store is disabled. Callers loop:
-/// probe the artifact, try_claim, and on failure back off with
-/// store_claim_backoff_wait().
-StoreClaim store_try_claim(const char* bucket, const std::string& key);
+/// process holds the lease or the store is disabled; `*status`
+/// (optional) additionally distinguishes a live holder (kBusy) from a
+/// store where claims can never be created (kUnavailable — any open()
+/// failure other than EEXIST, or a stale reclaim rename that fails for
+/// a reason other than losing the race). Callers loop: probe the
+/// artifact, try_claim, on kBusy back off with
+/// store_claim_backoff_wait(), and on kUnavailable fall through to
+/// computing locally.
+StoreClaim store_try_claim(const char* bucket, const std::string& key,
+                           StoreClaimStatus* status = nullptr);
 
 /// Sleep for the waiter backoff of round `attempt`: exponential
 /// (QAVAT_CLAIM_BACKOFF_MS base, default 25 ms, doubling per round,

@@ -96,12 +96,16 @@ void test_claim_basics() {
   const std::string key = "faults_claim_basics";
   const fs::path claim_file(artifact_path("results", key).string() +
                             ".claim");
-  StoreClaim a = store_try_claim("results", key);
+  StoreClaimStatus st = StoreClaimStatus::kUnavailable;
+  StoreClaim a = store_try_claim("results", key, &st);
   CHECK(a.held());
+  CHECK(st == StoreClaimStatus::kAcquired);
   CHECK(fs::exists(claim_file));
-  // A live lease (fresh heartbeat) blocks a second claimant.
-  StoreClaim b = store_try_claim("results", key);
+  // A live lease (fresh heartbeat) blocks a second claimant — reported
+  // as kBusy (backing off is productive), not kUnavailable.
+  StoreClaim b = store_try_claim("results", key, &st);
   CHECK(!b.held());
+  CHECK(st == StoreClaimStatus::kBusy);
   // Release removes the claim file; the key is claimable again.
   a.release();
   CHECK(!fs::exists(claim_file));
@@ -133,6 +137,48 @@ void test_stale_reclaim() {
   CHECK(!b.held());
   CHECK(store_stats().claims_reclaimed == reclaimed0 + 1);
   fs::remove(claim);
+}
+
+// A store where claim files can never be created (here the bucket path
+// is a plain file, so open() fails with ENOTDIR — the same shape as
+// EACCES, a read-only root, or a persistently full disk) must report
+// kUnavailable instead of masquerading as a live holder; waiters fall
+// back to local compute instead of spinning forever.
+void test_claim_unavailable() {
+  plant_file(bucket_dir("faults_blocked_bucket"), "not a directory");
+  StoreClaimStatus st = StoreClaimStatus::kAcquired;
+  StoreClaim c = store_try_claim("faults_blocked_bucket", "anykey", &st);
+  CHECK(!c.held());
+  CHECK(st == StoreClaimStatus::kUnavailable);
+  fs::remove(bucket_dir("faults_blocked_bucket"));
+}
+
+// A holder stalled past its TTL whose lease was reclaimed (simulated
+// here by replacing the claim-file content with a foreign token) must
+// not resurrect its lease: heartbeats verify the token before
+// rewriting, mark the claim lost on mismatch, and release() refuses to
+// delete the new holder's file.
+void test_heartbeat_respects_reclaim() {
+  ::setenv("QAVAT_CLAIM_TTL_S", "3", 1);  // heartbeat period 1 s
+  const std::string key = "faults_hb_reclaim";
+  const fs::path claim(artifact_path("results", key).string() + ".claim");
+  StoreClaim a = store_try_claim("results", key);
+  CHECK(a.held());
+  // Replace the lease right after acquisition — well before the first
+  // beat at t=1 s, so no in-flight refresh races the plant.
+  plant_file(claim, "qavat-claim 4242 otherhost foreigntok 99\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(1300));
+  // At least one beat ran; the foreign lease must be untouched…
+  std::ifstream is(claim);
+  std::string tag, pid, host, tok;
+  CHECK(static_cast<bool>(is >> tag >> pid >> host >> tok));
+  CHECK(tok == "foreigntok");
+  is.close();
+  // …and survive our release.
+  a.release();
+  CHECK(fs::exists(claim));
+  fs::remove(claim);
+  ::unsetenv("QAVAT_CLAIM_TTL_S");
 }
 
 // Eight threads race claim-compute-publish-release on one key through
@@ -392,6 +438,22 @@ void test_gc_verify_evict() {
   CHECK(store_load_doubles("results", "faults_sweep_probe", &got));  // young
 }
 
+// End-to-end fail-soft: with the store rooted at a path that can never
+// hold files (a plain file), the read-through caches must compute
+// locally — before the kUnavailable status existed, claim_or_load spun
+// forever here, probing a miss and re-trying a claim that could never
+// be created.
+void test_unwritable_store_computes_locally() {
+  const fs::path bogus_root = g_store_dir / "not_a_dir";
+  plant_file(bogus_root, "plain file, not a store root");
+  ::setenv("QAVAT_STORE_DIR", bogus_root.c_str(), 1);
+  const double got =
+      with_result_cache("faults_unwritable_store", [] { return 42.5; });
+  CHECK(got == 42.5);
+  ::setenv("QAVAT_STORE_DIR", g_store_dir.c_str(), 1);
+  fs::remove(bogus_root);
+}
+
 void test_fsync_mode_roundtrip() {
   // QAVAT_STORE_FSYNC=1 changes durability, never results.
   ::setenv("QAVAT_STORE_FSYNC", "1", 1);
@@ -416,6 +478,7 @@ int main() {
 
   test_opportunistic_tmp_sweep();  // must own the first store operation
   test_claim_basics();
+  test_claim_unavailable();
   test_stale_reclaim();
   test_concurrent_claims_one_winner();
   test_enospc_fault();
@@ -424,6 +487,8 @@ int main() {
   test_kill_before_rename();  // fork: before anything spawning threads
   test_retrain_after_corruption();
   test_gc_verify_evict();
+  test_heartbeat_respects_reclaim();  // ~1.3 s sleep: keep it late
+  test_unwritable_store_computes_locally();
   test_fsync_mode_roundtrip();
 
   std::error_code ec;
