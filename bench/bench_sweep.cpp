@@ -1,17 +1,22 @@
 // Multi-process sweep orchestration check: fork K worker processes over
-// ONE spec grid sharing ONE cold artifact store, and assert the
-// work-claim protocol (eval/store.h, DESIGN.md §14) coordinated them —
+// ONE manifest sharing ONE cold artifact store, and assert the
+// work-claim protocol (eval/store.h, DESIGN.md §14) plus the
+// claim-aware scheduler (Session::run_manifest, DESIGN.md §15)
+// coordinated them —
 //
 //   1. exactly one training per claim unit: the sum of the workers'
 //      train() phase counts equals what a single process needs for the
 //      grid (no duplicated work, no lost work);
-//   2. byte-identical results: every worker's result vector, reordered
-//      to the canonical grid order, is bitwise equal to a single-process
-//      reference run on a second fresh store.
+//   2. byte-identical results: every worker's result vector — which
+//      run_manifest returns in manifest order whatever dynamic order
+//      the scheduler executed — is bitwise equal to a single-process
+//      run_all reference on a second fresh store.
 //
-// Workers start the grid at rotated offsets so they collide on different
-// keys at different times — the interesting contention schedule — and
-// are forked before any compute so no thread pool threads exist yet.
+// Workers all start at manifest position 0; the scheduler itself
+// provides the contention schedule (a worker finding a unit's claim
+// busy defers that spec and moves to the next unclaimed one), which is
+// exactly the mechanism under test. Workers are forked before any
+// compute so no thread pool threads exist yet.
 //
 //   bench_sweep [--workers K]     (or QAVAT_SWEEP_WORKERS; default 2)
 //
@@ -28,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "eval/manifest.h"
 #include "eval/runner.h"
 #include "eval/scenario.h"
 #include "eval/store.h"
@@ -37,47 +43,58 @@ using namespace qavat;
 
 namespace {
 
-std::vector<ScenarioSpec> sweep_grid() {
-  std::vector<ScenarioSpec> specs;
-  for (double sigma : {0.1, 0.2, 0.3, 0.4}) {
-    specs.push_back(ScenarioSpec::within(ModelKind::kLeNet5s, 4, 4,
-                                         ScenarioAlgo::kQAVAT,
-                                         VarianceModel::kWeightProportional,
-                                         sigma));
+SweepManifest sweep_manifest() {
+  SweepManifest m;
+  if (!builtin_manifest("sweep_sigma", &m)) {
+    std::fprintf(stderr, "bench_sweep: missing built-in sweep_sigma grid\n");
+    std::exit(1);
   }
-  return specs;
+  return m;
 }
 
 // What each process reports for comparison: the per-scenario numbers
 // that must be bitwise identical across workers and reference.
 struct SweepReport {
   long long train_runs = 0;
+  long long deferrals = 0;     // scheduler skip count (workers only)
   std::vector<double> values;  // [clean_acc, mean_acc, mc.accuracy.stddev] * n
 };
 
-// Run the grid through one Session (starting at spec offset `rotate`),
-// and report values in canonical grid order regardless of rotation.
-SweepReport run_grid(int rotate) {
-  const std::vector<ScenarioSpec> grid = sweep_grid();
-  std::vector<ScenarioSpec> order;
-  for (size_t i = 0; i < grid.size(); ++i) {
-    order.push_back(grid[(i + static_cast<size_t>(rotate)) % grid.size()]);
-  }
-  const long long runs_before = training_runs();
-  Session session;
-  const std::vector<ScenarioResult> results = session.run_all(order);
-  session.print_summary("bench_sweep.worker");
-
+SweepReport report_from(const std::vector<ScenarioResult>& results,
+                        long long runs_before) {
   SweepReport rep;
-  rep.train_runs = training_runs() - runs_before;
-  rep.values.resize(3 * grid.size(), 0.0);
+  rep.train_runs = static_cast<long long>(training_runs()) - runs_before;
+  rep.values.resize(3 * results.size(), 0.0);
   for (size_t i = 0; i < results.size(); ++i) {
-    const size_t canon = (i + static_cast<size_t>(rotate)) % grid.size();
-    rep.values[3 * canon + 0] = results[i].clean_acc;
-    rep.values[3 * canon + 1] = results[i].mean_acc;
-    rep.values[3 * canon + 2] = results[i].mc.accuracy.stddev;
+    rep.values[3 * i + 0] = results[i].clean_acc;
+    rep.values[3 * i + 1] = results[i].mean_acc;
+    rep.values[3 * i + 2] = results[i].mc.accuracy.stddev;
   }
   return rep;
+}
+
+// Worker body: one claim-aware run_manifest pass over the shared store.
+SweepReport run_worker() {
+  const SweepManifest m = sweep_manifest();
+  const long long runs_before = static_cast<long long>(training_runs());
+  Session session;
+  SweepSchedule schedule;
+  const std::vector<ScenarioResult> results =
+      session.run_manifest(m, &schedule);
+  session.print_summary("bench_sweep.worker");
+  SweepReport rep = report_from(results, runs_before);
+  rep.deferrals = static_cast<long long>(schedule.deferrals);
+  return rep;
+}
+
+// Reference body: plain sequential-semantics run_all on a private store.
+SweepReport run_reference() {
+  const SweepManifest m = sweep_manifest();
+  const long long runs_before = static_cast<long long>(training_runs());
+  Session session;
+  const std::vector<ScenarioResult> results = session.run_all(m.specs);
+  session.print_summary("bench_sweep.ref");
+  return report_from(results, runs_before);
 }
 
 bool write_all(int fd, const void* buf, size_t n) {
@@ -131,7 +148,7 @@ int main(int argc, char** argv) {
   fs::create_directories(shared_store);
   fs::create_directories(ref_store);
 
-  const size_t n_values = 3 * sweep_grid().size();
+  const size_t n_values = 3 * sweep_manifest().specs.size();
   std::vector<pid_t> pids;
   std::vector<int> pipes;
   // Fork BEFORE any training/eval: compute thread pools and dataset
@@ -152,9 +169,11 @@ int main(int argc, char** argv) {
     if (pid == 0) {
       ::close(fds[0]);
       ::setenv("QAVAT_STORE_DIR", shared_store.c_str(), 1);
-      const SweepReport rep = run_grid(w);
+      const SweepReport rep = run_worker();
       const bool ok = write_all(fds[1], &rep.train_runs,
                                 sizeof rep.train_runs) &&
+                      write_all(fds[1], &rep.deferrals,
+                                sizeof rep.deferrals) &&
                       write_all(fds[1], rep.values.data(),
                                 rep.values.size() * sizeof(double));
       ::close(fds[1]);
@@ -168,11 +187,14 @@ int main(int argc, char** argv) {
 
   bool failed = false;
   long long worker_runs_sum = 0;
+  long long deferrals_sum = 0;
   std::vector<std::vector<double>> worker_values(workers);
   for (int w = 0; w < workers; ++w) {
     long long runs = 0;
+    long long defers = 0;
     worker_values[w].resize(n_values, 0.0);
     if (!read_all(pipes[w], &runs, sizeof runs) ||
+        !read_all(pipes[w], &defers, sizeof defers) ||
         !read_all(pipes[w], worker_values[w].data(),
                   n_values * sizeof(double))) {
       std::fprintf(stderr, "bench_sweep: worker %d report truncated\n", w);
@@ -180,6 +202,7 @@ int main(int argc, char** argv) {
     }
     ::close(pipes[w]);
     worker_runs_sum += runs;
+    deferrals_sum += defers;
   }
   for (int w = 0; w < workers; ++w) {
     int status = 0;
@@ -189,11 +212,16 @@ int main(int argc, char** argv) {
       failed = true;
     }
   }
+  // The deferral sum is reported, not asserted: whether workers ever
+  // collide on a live claim is a timing property of the host.
+  std::fprintf(stderr, "bench_sweep: scheduler deferrals=%lld across %d "
+               "workers\n", deferrals_sum, workers);
 
-  // Single-process reference on its own fresh store (the parent has run
-  // no compute yet, so this is a true cold run of the same grid).
+  // Single-process run_all reference on its own fresh store (the parent
+  // has run no compute yet, so this is a true cold run of the grid) —
+  // run_manifest's ordering contract is checked against it bitwise.
   ::setenv("QAVAT_STORE_DIR", ref_store.c_str(), 1);
-  const SweepReport ref = run_grid(0);
+  const SweepReport ref = run_reference();
 
   if (worker_runs_sum != ref.train_runs) {
     std::fprintf(stderr,
@@ -229,6 +257,6 @@ int main(int argc, char** argv) {
   std::printf("bench_sweep: PASS workers=%d scenarios=%zu train_runs=%lld "
               "(sum across workers == single-process reference; results "
               "byte-identical)\n",
-              workers, sweep_grid().size(), ref.train_runs);
+              workers, sweep_manifest().specs.size(), ref.train_runs);
   return 0;
 }

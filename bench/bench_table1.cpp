@@ -5,7 +5,14 @@
 // stand-in dataset (DESIGN.md §2). Declared as a ScenarioSpec grid; a warm
 // run against a populated store retrains nothing and reproduces this
 // table byte-identically (stdout carries only the deterministic numbers).
+//
+// The grid itself is the built-in "table1" manifest (eval/manifest.h) —
+// the same 30 specs `qavat-sweep emit table1` writes out, so a fleet
+// running that manifest against a shared store pre-warms exactly the
+// artifacts this bench consumes.
 #include "bench_common.h"
+
+#include "eval/manifest.h"
 
 using namespace qavat;
 using namespace qavat::bench;
@@ -21,7 +28,8 @@ struct Row {
 
 int main() {
   BenchHarness bench("bench_table1");
-  const VarianceModel vm = VarianceModel::kLayerFixed;
+  // Display-layout mirror of the manifest's nested order (rows, sigma,
+  // algorithm) — the grid itself lives in make_table1().
   const Row rows[] = {
       {ModelKind::kResNet18s, 4, 2}, {ModelKind::kResNet18s, 8, 4},
       {ModelKind::kVGG11s, 4, 2},    {ModelKind::kVGG11s, 8, 4},
@@ -33,20 +41,21 @@ int main() {
   std::printf("Table I: QAVAT vs baselines at the lowest/highest variability\n");
   std::printf("(within-chip only, layer-fixed variance; mean accuracy %% over chips)\n\n");
 
-  // Declare the whole grid up front and run it pipelined: scenario N+1
-  // trains on the executor thread while scenario N evaluates here.
-  // run_all returns results in declaration order with sequential-run
-  // numbers, so the printed table is byte-identical to a run() loop.
-  std::vector<ScenarioSpec> specs;
-  for (const Row& row : rows) {
-    for (double sigma : {0.1, 0.5}) {
-      for (ScenarioAlgo algo : algos) {
-        specs.push_back(ScenarioSpec::within(row.kind, row.a_bits, row.w_bits,
-                                             algo, vm, sigma));
-      }
-    }
+  // The grid is the built-in "table1" manifest, declared up front and
+  // run pipelined: scenario N+1 trains on the executor thread while
+  // scenario N evaluates here. run_all returns results in manifest
+  // order with sequential-run numbers, so the printed table is
+  // byte-identical to a run() loop (and to a qavat-sweep run of the
+  // same manifest).
+  SweepManifest manifest;
+  if (!builtin_manifest("table1", &manifest) ||
+      manifest.specs.size() != sizeof(rows) / sizeof(rows[0]) * 2 *
+                                   sizeof(algos) / sizeof(algos[0])) {
+    std::fprintf(stderr, "bench_table1: built-in table1 manifest mismatch\n");
+    return 1;
   }
-  const std::vector<ScenarioResult> results = bench.session.run_all(specs);
+  const std::vector<ScenarioResult> results =
+      bench.session.run_all(manifest.specs);
 
   TextTable table({"Model", "A/W", "sigma", "PTQ-VAT", "QAT", "QAVAT"});
   std::size_t next = 0;

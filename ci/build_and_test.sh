@@ -69,7 +69,7 @@ trap - EXIT
 # layer syntax checking on top when available. Nonzero exit on malformed
 # docs fails the build via set -e.
 DOC_HEADERS=(pim/chip.h pim/tiling.h eval/evaluator.h eval/scenario.h
-             eval/store.h eval/runner.h tensor/workspace.h
+             eval/manifest.h eval/store.h eval/runner.h tensor/workspace.h
              tensor/conv_ops.h tensor/ops.h tensor/serialize.h
              tensor/int_ops.h tensor/thread_pool.h
              core/quant/int8_backend.h)
@@ -196,11 +196,58 @@ if [[ "$((W1_RUNS + W2_RUNS))" -ne "${REF_RUNS}" ]]; then
        "process ${REF_RUNS} - work was duplicated or lost" >&2
   exit 1
 fi
+# (Deeper inspect/gc/evict CLI coverage lives in the ctest-registered
+# store_cli_smoke test; here verify doubles as the race's clean-store
+# assertion.)
 "${BUILD_DIR}/qavat-store" verify --root "${SWEEP_STORE}"
-"${BUILD_DIR}/qavat-store" inspect --root "${SWEEP_STORE}"
-"${BUILD_DIR}/qavat-store" gc --root "${SWEEP_STORE}" --min-age 0
 echo "concurrent sweep: OK (train_runs ${W1_RUNS}+${W2_RUNS} = ${REF_RUNS}," \
      "byte-identical tables, store verifies clean)"
+
+# Manifest sweep gate: the claim-aware scheduler end-to-end through the
+# qavat-sweep CLI (DESIGN.md §15). Emit the Table-I grid as a manifest,
+# run it once sequentially (plain run_all) on a fresh store as the
+# reference, then race two forked claim-aware workers against a second
+# cold store. The workers' manifest-order stdout must be byte-identical
+# to the sequential reference, their summed train_runs must equal the
+# sequential run's (exactly once per unit, fleet-wide), a dry-run after
+# must show every claim unit done, and the contended store must verify
+# clean.
+echo "== manifest sweep (qavat-sweep, table1, 2 workers vs sequential) =="
+MANIFEST_TMP="${STORE_TMP}/manifest"
+mkdir -p "${MANIFEST_TMP}"
+QAVAT_FAST=1 "${BUILD_DIR}/qavat-sweep" emit table1 \
+  -o "${MANIFEST_TMP}/table1.json"
+QAVAT_FAST=1 QAVAT_STORE_DIR="${MANIFEST_TMP}/seq-store" \
+  "${BUILD_DIR}/qavat-sweep" run "${MANIFEST_TMP}/table1.json" --sequential \
+  > "${MANIFEST_TMP}/seq.out" 2> "${MANIFEST_TMP}/seq.err"
+QAVAT_FAST=1 QAVAT_STORE_DIR="${MANIFEST_TMP}/race-store" \
+  "${BUILD_DIR}/qavat-sweep" run "${MANIFEST_TMP}/table1.json" --workers 2 \
+  > "${MANIFEST_TMP}/race.out" 2> "${MANIFEST_TMP}/race.err"
+if ! cmp "${MANIFEST_TMP}/seq.out" "${MANIFEST_TMP}/race.out"; then
+  echo "manifest gate: 2-worker stdout differs from sequential reference" >&2
+  exit 1
+fi
+sweep_runs_of() {
+  sed -n 's/.*\[qavat-sweep\].* train_runs=\([0-9]*\).*/\1/p' "$1" | tail -1
+}
+SEQ_RUNS="$(sweep_runs_of "${MANIFEST_TMP}/seq.err")"
+RACE_RUNS="$(sweep_runs_of "${MANIFEST_TMP}/race.err")"
+if [[ -z "${SEQ_RUNS}" || -z "${RACE_RUNS}" ||
+      "${SEQ_RUNS}" -ne "${RACE_RUNS}" ]]; then
+  echo "manifest gate: summed train_runs '${RACE_RUNS}' != sequential" \
+       "'${SEQ_RUNS}' - work was duplicated or lost" >&2
+  exit 1
+fi
+QAVAT_FAST=1 QAVAT_STORE_DIR="${MANIFEST_TMP}/race-store" \
+  "${BUILD_DIR}/qavat-sweep" run "${MANIFEST_TMP}/table1.json" --dry-run \
+  > "${MANIFEST_TMP}/dry.out"
+if grep -v ' done ' "${MANIFEST_TMP}/dry.out"; then
+  echo "manifest gate: dry-run shows unproduced units after the sweep" >&2
+  exit 1
+fi
+"${BUILD_DIR}/qavat-store" verify --root "${MANIFEST_TMP}/race-store"
+echo "manifest sweep: OK (train_runs ${RACE_RUNS} = ${SEQ_RUNS}," \
+     "manifest-order output byte-identical, all units done, store clean)"
 rm -rf "${STORE_TMP}"
 trap - EXIT
 

@@ -333,7 +333,10 @@ QuantLinear::QuantLinear(index_t in, index_t out, index_t a_bits, index_t w_bits
 }
 
 Tensor QuantLinear::forward(const Tensor& x) {
-  assert(x.ndim() == 2 && x.dim(1) == fan_in_);
+  if (x.ndim() != 2 || x.dim(1) != fan_in_) {
+    throw std::invalid_argument("QuantLinear::forward: input must be {rows, " +
+                                std::to_string(fan_in_) + "}");
+  }
   const index_t nb = noise_batch();
   const bool shared = batched_input_shared(x, nb, "QuantLinear::forward");
   const Tensor* xin = &xq_;
@@ -409,7 +412,11 @@ QuantConv2d::QuantConv2d(index_t in_channels, index_t out_channels, index_t kern
 }
 
 Tensor QuantConv2d::forward(const Tensor& x) {
-  assert(x.ndim() == 4 && x.dim(1) == in_channels_);
+  if (x.ndim() != 4 || x.dim(1) != in_channels_) {
+    throw std::invalid_argument(
+        "QuantConv2d::forward: input must be {n, " +
+        std::to_string(in_channels_) + ", h, w}");
+  }
   const index_t nb = noise_batch();
   const bool shared = batched_input_shared(x, nb, "QuantConv2d::forward");
   x_shape_ = x.shape();

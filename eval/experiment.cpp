@@ -168,8 +168,11 @@ std::string noise_key(const VariabilityConfig& v) {
   return os.str();
 }
 
-std::string train_key(ModelKind kind, const ModelConfig& mcfg, const char* algo,
-                      const SplitDataset& data, const TrainConfig& tcfg) {
+}  // namespace
+
+std::string train_cache_key(ModelKind kind, const ModelConfig& mcfg,
+                            const char* algo, const SplitDataset& data,
+                            const TrainConfig& tcfg) {
   std::ostringstream os;
   os << to_string(kind) << "_A" << mcfg.a_bits << "W" << mcfg.w_bits << "_nc"
      << mcfg.num_classes << "_c" << mcfg.in_channels << "s" << mcfg.image_size
@@ -180,6 +183,16 @@ std::string train_key(ModelKind kind, const ModelConfig& mcfg, const char* algo,
      << data.train.size() << "x" << data.test.size()
      << (fast_mode() ? "_fast" : "");
   return os.str();
+}
+
+namespace {
+
+// Local alias: the public name is train_cache_key (eval/experiment.h);
+// the cache bodies below predate the export and read better short.
+inline std::string train_key(ModelKind kind, const ModelConfig& mcfg,
+                             const char* algo, const SplitDataset& data,
+                             const TrainConfig& tcfg) {
+  return train_cache_key(kind, mcfg, algo, data, tcfg);
 }
 
 }  // namespace

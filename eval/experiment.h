@@ -81,6 +81,18 @@ TrainedModel train_ptq_vat_cached(ModelKind kind, const ModelConfig& mcfg,
                                   const SplitDataset& data,
                                   const TrainConfig& tcfg);
 
+/// The canonical model-cache/store key of ONE cached training phase —
+/// exactly the key train_cached / train_ptq_vat_cached use for (kind,
+/// mcfg, algo token, dataset, tcfg), and therefore the claim unit the
+/// work-claim protocol serializes producers on. `algo` is the cache
+/// token: "QAT", "QAVAT" or "PTQVAT". Exposed so the claim-aware
+/// scheduler (Session::run_manifest) and tests can probe a unit's
+/// claim/artifact state non-destructively instead of entering the
+/// blocking read-through path.
+std::string train_cache_key(ModelKind kind, const ModelConfig& mcfg,
+                            const char* algo, const SplitDataset& data,
+                            const TrainConfig& tcfg);
+
 ModelConfig default_model_config(ModelKind kind, index_t a_bits, index_t w_bits);
 TrainConfig default_train_config(ModelKind kind);
 EvalConfig default_eval_config(ModelKind kind);

@@ -1,0 +1,312 @@
+#include "eval/manifest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace qavat {
+
+namespace {
+
+// ------------------------------------------------------------- encoding
+
+// The document is deliberately line-oriented — header, one spec per
+// line, closing line — so campaign edits show up as one-line diffs:
+//   {"manifest_schema":1,"name":"table1","specs":[
+//   {...spec 0...},
+//   {...spec 1...}
+//   ]}
+std::string encode(const SweepManifest& m) {
+  std::string o = "{\"manifest_schema\":";
+  o += std::to_string(kManifestSchemaVersion);
+  o += ",\"name\":\"";
+  o += m.name;
+  o += "\",\"specs\":[";
+  for (std::size_t i = 0; i < m.specs.size(); ++i) {
+    o += '\n';
+    o += m.specs[i].to_json();
+    if (i + 1 < m.specs.size()) o += ',';
+  }
+  o += "\n]}";
+  return o;
+}
+
+// ------------------------------------------------------------- decoding
+//
+// The manifest layer has its own top-level scanner instead of extending
+// scenario.cpp's Jv parser with arrays: the only structure here is one
+// object holding two scalars and an array of spec objects, and each
+// element must be handed to ScenarioSpec::from_json as TEXT anyway (so
+// its per-field validation owns the inside of the braces). Specs never
+// contain arrays or string escapes (to_json emits neither), which makes
+// element extraction a brace count with in-string tracking.
+
+void skip_ws(const char*& p) {
+  while (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r') ++p;
+}
+
+bool fail(std::string* error, const std::string& what) {
+  if (error != nullptr && error->empty()) *error = what;
+  return false;
+}
+
+bool scan_string(const char*& p, std::string* out, std::string* error) {
+  skip_ws(p);
+  if (*p != '"') return fail(error, "malformed JSON: expected a string");
+  ++p;
+  out->clear();
+  while (*p != '\0' && *p != '"') {
+    if (*p == '\\') {
+      return fail(error, "malformed JSON: string escapes unsupported");
+    }
+    out->push_back(*p++);
+  }
+  if (*p != '"') return fail(error, "malformed JSON: unterminated string");
+  ++p;
+  return true;
+}
+
+// Extract one balanced {...} object as raw text, tracking strings so a
+// brace inside a token can never derail the count.
+bool scan_object_text(const char*& p, std::string* out, std::string* error) {
+  skip_ws(p);
+  if (*p != '{') return fail(error, "malformed JSON: expected an object");
+  const char* start = p;
+  int depth = 0;
+  bool in_string = false;
+  for (; *p != '\0'; ++p) {
+    const char c = *p;
+    if (in_string) {
+      if (c == '\\') {
+        return fail(error, "malformed JSON: string escapes unsupported");
+      }
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) {
+        ++p;
+        out->assign(start, static_cast<std::size_t>(p - start));
+        return true;
+      }
+    }
+  }
+  return fail(error, "malformed JSON: unterminated object");
+}
+
+}  // namespace
+
+std::string SweepManifest::to_json() const { return encode(*this); }
+
+bool SweepManifest::from_json(const std::string& text, SweepManifest* out,
+                              std::string* error) {
+  if (error != nullptr) error->clear();
+  const char* p = text.c_str();
+  skip_ws(p);
+  if (*p != '{') return fail(error, "malformed JSON: expected an object");
+  ++p;
+
+  SweepManifest m;
+  bool saw_schema = false;
+  bool saw_specs = false;
+  skip_ws(p);
+  if (*p == '}') {
+    ++p;
+  } else {
+    while (true) {
+      std::string key;
+      if (!scan_string(p, &key, error)) return false;
+      skip_ws(p);
+      if (*p != ':') return fail(error, "malformed JSON: expected ':'");
+      ++p;
+      skip_ws(p);
+      if (key == "manifest_schema") {
+        char* end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p) {
+          return fail(error, "manifest_schema: expected an integer");
+        }
+        if (v != kManifestSchemaVersion) {
+          return fail(error,
+                      "manifest_schema: version mismatch: expected " +
+                          std::to_string(kManifestSchemaVersion) + ", got " +
+                          std::string(p, static_cast<std::size_t>(end - p)));
+        }
+        p = end;
+        saw_schema = true;
+      } else if (key == "name") {
+        if (!scan_string(p, &m.name, error)) {
+          return fail(error, "name: expected a string");
+        }
+      } else if (key == "specs") {
+        if (*p != '[') return fail(error, "specs: expected an array");
+        ++p;
+        skip_ws(p);
+        if (*p == ']') {
+          ++p;
+        } else {
+          while (true) {
+            std::string doc;
+            std::string spec_err;
+            ScenarioSpec spec;
+            const std::size_t idx = m.specs.size();
+            if (!scan_object_text(p, &doc, error)) {
+              return fail(error, "specs[" + std::to_string(idx) +
+                                     "]: expected an object");
+            }
+            if (!ScenarioSpec::from_json(doc, &spec, &spec_err)) {
+              return fail(error,
+                          "specs[" + std::to_string(idx) + "]: " + spec_err);
+            }
+            m.specs.push_back(std::move(spec));
+            skip_ws(p);
+            if (*p == ',') {
+              ++p;
+              continue;
+            }
+            if (*p == ']') {
+              ++p;
+              break;
+            }
+            return fail(error, "malformed JSON: expected ',' or ']'");
+          }
+        }
+        saw_specs = true;
+      } else {
+        return fail(error, "unknown manifest field '" + key + "'");
+      }
+      skip_ws(p);
+      if (*p == ',') {
+        ++p;
+        skip_ws(p);
+        continue;
+      }
+      if (*p == '}') {
+        ++p;
+        break;
+      }
+      return fail(error, "malformed JSON: expected ',' or '}'");
+    }
+  }
+  skip_ws(p);
+  if (*p != '\0') return fail(error, "malformed JSON (trailing characters)");
+  if (!saw_schema) return fail(error, "manifest_schema: missing");
+  if (!saw_specs) return fail(error, "specs: missing");
+
+  *out = std::move(m);
+  return true;
+}
+
+bool SweepManifest::save(const std::string& path, std::string* error) const {
+  if (error != nullptr) error->clear();
+  // tmp + rename so a crashed emit never leaves a torn manifest where a
+  // scheduler might pick it up (same discipline as the artifact store).
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return fail(error, "cannot open '" + tmp + "' for write");
+  const std::string doc = to_json() + "\n";
+  const bool wrote =
+      std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return fail(error, "write to '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail(error, "rename to '" + path + "' failed");
+  }
+  return true;
+}
+
+bool SweepManifest::load(const std::string& path, SweepManifest* out,
+                         std::string* error) {
+  if (error != nullptr) error->clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail(error, "cannot open '" + path + "'");
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) return fail(error, "read of '" + path + "' failed");
+  std::string parse_err;
+  if (!from_json(text, out, &parse_err)) {
+    return fail(error, path + ": " + parse_err);
+  }
+  return true;
+}
+
+// ------------------------------------------------------- built-in grids
+
+namespace {
+
+// The bench_table1 Table-I grid, in its exact nested order (rows, then
+// sigma, then algorithm) — bench_table1 itself consumes this manifest,
+// so its printed table stays byte-identical to the historical spec loop.
+SweepManifest make_table1() {
+  SweepManifest m;
+  m.name = "table1";
+  const VarianceModel vm = VarianceModel::kLayerFixed;
+  struct Row {
+    ModelKind kind;
+    index_t a_bits, w_bits;
+  };
+  const Row rows[] = {
+      {ModelKind::kResNet18s, 4, 2}, {ModelKind::kResNet18s, 8, 4},
+      {ModelKind::kVGG11s, 4, 2},    {ModelKind::kVGG11s, 8, 4},
+      {ModelKind::kLeNet5s, 2, 2},
+  };
+  const ScenarioAlgo algos[] = {ScenarioAlgo::kPTQVAT, ScenarioAlgo::kQAT,
+                                ScenarioAlgo::kQAVAT};
+  for (const Row& row : rows) {
+    for (double sigma : {0.1, 0.5}) {
+      for (ScenarioAlgo algo : algos) {
+        m.specs.push_back(ScenarioSpec::within(row.kind, row.a_bits,
+                                               row.w_bits, algo, vm, sigma));
+      }
+    }
+  }
+  return m;
+}
+
+// bench_sweep's contention workload: one model kind, QAVAT, four sigma
+// points of weight-proportional within-chip noise — small enough for CI
+// races, distinct enough that every spec is its own claim unit.
+SweepManifest make_sweep_sigma() {
+  SweepManifest m;
+  m.name = "sweep_sigma";
+  for (double sigma : {0.1, 0.2, 0.3, 0.4}) {
+    m.specs.push_back(ScenarioSpec::within(ModelKind::kLeNet5s, 4, 4,
+                                           ScenarioAlgo::kQAVAT,
+                                           VarianceModel::kWeightProportional,
+                                           sigma));
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_manifest_names() {
+  return {"table1", "sweep_sigma"};
+}
+
+bool builtin_manifest(const std::string& name, SweepManifest* out) {
+  if (name == "table1") {
+    *out = make_table1();
+    return true;
+  }
+  if (name == "sweep_sigma") {
+    *out = make_sweep_sigma();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace qavat

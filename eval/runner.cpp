@@ -24,6 +24,21 @@ TrainAlgo train_algo_for(ScenarioAlgo algo) {
   return algo == ScenarioAlgo::kQAT ? TrainAlgo::kQAT : TrainAlgo::kQAVAT;
 }
 
+// Advisory probe for the claim-aware scheduler: a spec is "blocked"
+// when its FIRST unproduced claim unit has a live lease held elsewhere.
+// Produced units are skipped (they will be store hits); the first
+// unproduced, unclaimed unit makes the spec runnable — this process can
+// contend for (or win) that claim immediately. Purely a heuristic for
+// ordering local work: the work-claim protocol itself still arbitrates
+// every producer, so a stale answer costs a wait, never a double train.
+bool spec_blocked(const std::vector<ClaimUnitRef>& units) {
+  for (const ClaimUnitRef& u : units) {
+    if (store_has(u.bucket, u.key)) continue;
+    return store_claim_busy(u.bucket, u.key);
+  }
+  return false;  // everything already produced: pure warm run
+}
+
 }  // namespace
 
 const SplitDataset& Session::dataset(ModelKind kind) {
@@ -174,6 +189,93 @@ std::vector<ScenarioResult> Session::run_all(
     results.push_back(finish_scenario(spec, std::move(t.tm), t.train_seconds));
   }
   return results;
+}
+
+std::vector<ClaimUnitRef> Session::claim_units(const ScenarioSpec& spec) {
+  const SplitDataset& data = dataset(spec.model);
+  std::vector<ClaimUnitRef> units;
+  if (spec.algo == ScenarioAlgo::kPTQVAT) {
+    units.push_back({"models", train_cache_key(spec.model, spec.model_cfg,
+                                               "PTQVAT", data, spec.train)});
+  } else {
+    // Phase 1, always: the QAT pretrain unit, keyed with the noise
+    // cleared — the same derivation train_cached applies.
+    TrainConfig pre = spec.train;
+    pre.train_noise = VariabilityConfig{};
+    pre.n_variation_samples = 1;
+    units.push_back({"models", train_cache_key(spec.model, spec.model_cfg,
+                                               "QAT", data, pre)});
+    // Phase 2 only when the spec actually fine-tunes; otherwise the
+    // full key is a memory-only alias of the pretrain artifact.
+    if (spec.algo == ScenarioAlgo::kQAVAT && spec.train.train_noise.enabled()) {
+      units.push_back({"models", train_cache_key(spec.model, spec.model_cfg,
+                                                 "QAVAT", data, spec.train)});
+    }
+  }
+  if (spec.deploy.enabled()) units.push_back({"evals", spec.key()});
+  return units;
+}
+
+std::vector<ScenarioResult> Session::run_manifest(const SweepManifest& manifest,
+                                                  SweepSchedule* schedule) {
+  const std::vector<ScenarioSpec>& specs = manifest.specs;
+  std::vector<ScenarioResult> results(specs.size());
+  SweepSchedule local;
+  SweepSchedule& trace = schedule != nullptr ? *schedule : local;
+  trace = SweepSchedule{};
+  if (specs.empty()) return results;
+
+  // Datasets up front (claim_units needs them anyway, and run() must
+  // not race dataset() if a caller threads around this Session).
+  for (const ScenarioSpec& spec : specs) dataset(spec.model);
+
+  // Round-based greedy scheduler: run every pending spec whose next
+  // unproduced claim unit is free, defer the busy ones, repeat. Only
+  // when a whole round defers everything (all pending work is being
+  // produced by other processes) does this process back off — and even
+  // then it re-probes, because a peer publishing an artifact or
+  // dropping a lease unblocks us with no notification channel.
+  std::vector<index_t> pending(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    pending[i] = static_cast<index_t>(i);
+  }
+  int backoff_attempt = 0;
+  while (!pending.empty()) {
+    std::vector<index_t> deferred;
+    deferred.reserve(pending.size());
+    for (const index_t idx : pending) {
+      const ScenarioSpec& spec = specs[static_cast<std::size_t>(idx)];
+      if (spec_blocked(claim_units(spec))) {
+        ++trace.deferrals;
+        deferred.push_back(idx);
+        continue;
+      }
+      results[static_cast<std::size_t>(idx)] = run(spec);
+      trace.completion_order.push_back(idx);
+    }
+    const bool progressed = deferred.size() < pending.size();
+    pending = std::move(deferred);
+    if (pending.empty()) break;
+    if (!progressed) {
+      ++trace.wait_rounds;
+      store_claim_backoff_wait(backoff_attempt++);
+    } else {
+      backoff_attempt = 0;
+    }
+  }
+  return results;
+}
+
+SessionCounters Session::counters() const {
+  SessionCounters c;
+  c.scenarios = scenarios_;
+  c.trained = trained_;
+  c.model_store_hits = model_store_hits_;
+  c.evals_computed = evals_computed_;
+  c.eval_cache_hits = eval_cache_hits_;
+  c.train_seconds = train_seconds_;
+  c.eval_seconds = eval_seconds_;
+  return c;
 }
 
 void Session::print_summary(const char* name) const {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <map>
 
 #include "eval/experiment.h"
@@ -173,58 +174,114 @@ bool parse_value(const char*& p, Jv* out) {
   return true;
 }
 
+// Error sink shared by every reader: record "<prefix><field>: <what>"
+// into *err (first failure wins — the callers chain with &&) and report
+// the failure.
+bool fail_field(std::string* err, const char* prefix, const char* name,
+                const std::string& what) {
+  if (err != nullptr && err->empty()) {
+    *err = std::string(prefix) + name + ": " + what;
+  }
+  return false;
+}
+
 // Typed field readers: each returns false on a present-but-wrong-typed
-// field and leaves the destination untouched when the field is absent.
-bool read_num(const Jv& o, const char* name, double* dst) {
+// field (naming it via *err) and leaves the destination untouched when
+// the field is absent. `prefix` is the dotted path of the enclosing
+// object ("train.", "eval.", ...), purely for error messages.
+bool read_num(const Jv& o, const char* name, double* dst, std::string* err,
+              const char* prefix = "") {
   const Jv* v = o.find(name);
   if (v == nullptr) return true;
-  if (v->kind != Jv::kNum) return false;
+  if (v->kind != Jv::kNum) {
+    return fail_field(err, prefix, name, "expected a number");
+  }
   *dst = v->num();
   return true;
 }
 
-bool read_index(const Jv& o, const char* name, index_t* dst) {
+bool read_index(const Jv& o, const char* name, index_t* dst, std::string* err,
+                const char* prefix = "") {
   const Jv* v = o.find(name);
   if (v == nullptr) return true;
-  if (v->kind != Jv::kNum) return false;
+  if (v->kind != Jv::kNum) {
+    return fail_field(err, prefix, name, "expected an integer");
+  }
   *dst = static_cast<index_t>(v->inum());
   return true;
 }
 
-bool read_u64(const Jv& o, const char* name, std::uint64_t* dst) {
+bool read_u64(const Jv& o, const char* name, std::uint64_t* dst,
+              std::string* err, const char* prefix = "") {
   const Jv* v = o.find(name);
   if (v == nullptr) return true;
-  if (v->kind != Jv::kNum) return false;
+  if (v->kind != Jv::kNum) {
+    return fail_field(err, prefix, name, "expected an integer");
+  }
   *dst = static_cast<std::uint64_t>(
       std::strtoull(v->text.c_str(), nullptr, 10));
   return true;
 }
 
-bool read_bool(const Jv& o, const char* name, bool* dst) {
+bool read_bool(const Jv& o, const char* name, bool* dst, std::string* err,
+               const char* prefix = "") {
   const Jv* v = o.find(name);
   if (v == nullptr) return true;
-  if (v->kind != Jv::kBool) return false;
+  if (v->kind != Jv::kBool) {
+    return fail_field(err, prefix, name, "expected true or false");
+  }
   *dst = v->b;
   return true;
 }
 
-bool read_noise(const Jv& o, const char* name, VariabilityConfig* dst) {
+bool read_noise(const Jv& o, const char* name, VariabilityConfig* dst,
+                std::string* err, const char* prefix = "") {
   const Jv* v = o.find(name);
   if (v == nullptr) return true;
-  if (v->kind != Jv::kObj) return false;
+  const std::string path = std::string(prefix) + name + ".";
+  if (v->kind != Jv::kObj) {
+    return fail_field(err, prefix, name, "expected an object");
+  }
   const Jv* m = v->find("model");
   if (m != nullptr) {
-    if (m->kind != Jv::kStr) return false;
+    if (m->kind != Jv::kStr) {
+      return fail_field(err, path.c_str(), "model", "expected a string");
+    }
     if (m->text == "wp") {
       dst->model = VarianceModel::kWeightProportional;
     } else if (m->text == "lf") {
       dst->model = VarianceModel::kLayerFixed;
     } else {
-      return false;
+      return fail_field(err, path.c_str(), "model",
+                        "unknown token '" + m->text + "'");
     }
   }
-  return read_num(*v, "sigma_w", &dst->sigma_w) &&
-         read_num(*v, "sigma_b", &dst->sigma_b);
+  return read_num(*v, "sigma_w", &dst->sigma_w, err, path.c_str()) &&
+         read_num(*v, "sigma_b", &dst->sigma_b, err, path.c_str());
+}
+
+// Enum-token reader: `tokens`/`values` are parallel null-terminated
+// lists; an absent field keeps the default, an unknown token is named
+// in the error.
+template <typename E>
+bool read_enum(const Jv& o, const char* name,
+               std::initializer_list<const char*> tokens,
+               std::initializer_list<E> values, E* dst, std::string* err,
+               const char* prefix = "") {
+  const Jv* v = o.find(name);
+  if (v == nullptr) return true;
+  if (v->kind != Jv::kStr) {
+    return fail_field(err, prefix, name, "expected a string");
+  }
+  auto tok = tokens.begin();
+  auto val = values.begin();
+  for (; tok != tokens.end(); ++tok, ++val) {
+    if (v->text == *tok) {
+      *dst = *val;
+      return true;
+    }
+  }
+  return fail_field(err, prefix, name, "unknown token '" + v->text + "'");
 }
 
 }  // namespace
@@ -332,118 +389,111 @@ std::string ScenarioSpec::to_json() const {
   return o;
 }
 
-bool ScenarioSpec::from_json(const std::string& text, ScenarioSpec* out) {
+bool ScenarioSpec::from_json(const std::string& text, ScenarioSpec* out,
+                             std::string* error) {
+  if (error != nullptr) error->clear();
   const char* p = text.c_str();
   Jv root;
-  if (!parse_value(p, &root) || root.kind != Jv::kObj) return false;
+  if (!parse_value(p, &root) || root.kind != Jv::kObj) {
+    if (error != nullptr && error->empty()) *error = "malformed JSON";
+    return false;
+  }
   skip_ws(p);
-  if (*p != '\0') return false;
+  if (*p != '\0') {
+    if (error != nullptr) *error = "malformed JSON (trailing characters)";
+    return false;
+  }
+  std::string* err = error;
 
   ScenarioSpec s;
   const Jv* schema = root.find("schema");
-  if (schema == nullptr || schema->kind != Jv::kNum ||
-      schema->inum() != kScenarioSchemaVersion) {
+  if (schema == nullptr || schema->kind != Jv::kNum) {
+    return fail_field(err, "", "schema", "missing or not a number");
+  }
+  if (schema->inum() != kScenarioSchemaVersion) {
+    return fail_field(err, "", "schema",
+                      "version mismatch: expected " +
+                          std::to_string(kScenarioSchemaVersion) + ", got " +
+                          schema->text);
+  }
+  if (!read_enum(root, "model", {"lenet5s", "vgg11s", "resnet18s"},
+                 {ModelKind::kLeNet5s, ModelKind::kVGG11s,
+                  ModelKind::kResNet18s},
+                 &s.model, err) ||
+      !read_enum(root, "algo", {"PTQVAT", "QAT", "QAVAT"},
+                 {ScenarioAlgo::kPTQVAT, ScenarioAlgo::kQAT,
+                  ScenarioAlgo::kQAVAT},
+                 &s.algo, err) ||
+      !read_bool(root, "fast", &s.fast, err)) {
     return false;
   }
-  if (const Jv* m = root.find("model")) {
-    if (m->kind != Jv::kStr) return false;
-    if (m->text == "lenet5s") {
-      s.model = ModelKind::kLeNet5s;
-    } else if (m->text == "vgg11s") {
-      s.model = ModelKind::kVGG11s;
-    } else if (m->text == "resnet18s") {
-      s.model = ModelKind::kResNet18s;
-    } else {
-      return false;
-    }
-  }
-  if (const Jv* a = root.find("algo")) {
-    if (a->kind != Jv::kStr) return false;
-    if (a->text == "PTQVAT") {
-      s.algo = ScenarioAlgo::kPTQVAT;
-    } else if (a->text == "QAT") {
-      s.algo = ScenarioAlgo::kQAT;
-    } else if (a->text == "QAVAT") {
-      s.algo = ScenarioAlgo::kQAVAT;
-    } else {
-      return false;
-    }
-  }
-  if (!read_bool(root, "fast", &s.fast)) return false;
   if (const Jv* m = root.find("model_cfg")) {
-    if (m->kind != Jv::kObj) return false;
-    if (!read_index(*m, "a_bits", &s.model_cfg.a_bits) ||
-        !read_index(*m, "w_bits", &s.model_cfg.w_bits) ||
-        !read_index(*m, "in_channels", &s.model_cfg.in_channels) ||
-        !read_index(*m, "image_size", &s.model_cfg.image_size) ||
-        !read_index(*m, "num_classes", &s.model_cfg.num_classes) ||
-        !read_u64(*m, "init_seed", &s.model_cfg.init_seed)) {
+    if (m->kind != Jv::kObj) {
+      return fail_field(err, "", "model_cfg", "expected an object");
+    }
+    if (!read_index(*m, "a_bits", &s.model_cfg.a_bits, err, "model_cfg.") ||
+        !read_index(*m, "w_bits", &s.model_cfg.w_bits, err, "model_cfg.") ||
+        !read_index(*m, "in_channels", &s.model_cfg.in_channels, err,
+                    "model_cfg.") ||
+        !read_index(*m, "image_size", &s.model_cfg.image_size, err,
+                    "model_cfg.") ||
+        !read_index(*m, "num_classes", &s.model_cfg.num_classes, err,
+                    "model_cfg.") ||
+        !read_u64(*m, "init_seed", &s.model_cfg.init_seed, err,
+                  "model_cfg.")) {
       return false;
     }
   }
   if (const Jv* t = root.find("train")) {
-    if (t->kind != Jv::kObj) return false;
-    if (!read_index(*t, "epochs", &s.train.epochs) ||
-        !read_num(*t, "lr", &s.train.lr) ||
-        !read_index(*t, "batch_size", &s.train.batch_size) ||
-        !read_index(*t, "n_variation_samples", &s.train.n_variation_samples) ||
-        !read_bool(*t, "reparam", &s.train.reparam) ||
-        !read_u64(*t, "seed", &s.train.seed) ||
-        !read_noise(*t, "noise", &s.train.train_noise)) {
+    if (t->kind != Jv::kObj) {
+      return fail_field(err, "", "train", "expected an object");
+    }
+    if (!read_index(*t, "epochs", &s.train.epochs, err, "train.") ||
+        !read_num(*t, "lr", &s.train.lr, err, "train.") ||
+        !read_index(*t, "batch_size", &s.train.batch_size, err, "train.") ||
+        !read_index(*t, "n_variation_samples", &s.train.n_variation_samples,
+                    err, "train.") ||
+        !read_bool(*t, "reparam", &s.train.reparam, err, "train.") ||
+        !read_u64(*t, "seed", &s.train.seed, err, "train.") ||
+        !read_noise(*t, "noise", &s.train.train_noise, err, "train.") ||
+        !read_enum(*t, "scale_update", {"per_epoch", "init_only"},
+                   {ScaleUpdatePolicy::kPerEpoch, ScaleUpdatePolicy::kInitOnly},
+                   &s.train.scale_update, err, "train.")) {
       return false;
     }
-    if (const Jv* su = t->find("scale_update")) {
-      if (su->kind != Jv::kStr) return false;
-      if (su->text == "per_epoch") {
-        s.train.scale_update = ScaleUpdatePolicy::kPerEpoch;
-      } else if (su->text == "init_only") {
-        s.train.scale_update = ScaleUpdatePolicy::kInitOnly;
-      } else {
-        return false;
-      }
-    }
   }
-  if (!read_noise(root, "deploy", &s.deploy)) return false;
+  if (!read_noise(root, "deploy", &s.deploy, err)) return false;
   if (const Jv* st = root.find("selftune")) {
-    if (st->kind != Jv::kObj) return false;
-    if (const Jv* m = st->find("mode")) {
-      if (m->kind != Jv::kStr) return false;
-      if (m->text == "none") {
-        s.selftune.mode = SelfTuneMode::kNone;
-      } else if (m->text == "gtm") {
-        s.selftune.mode = SelfTuneMode::kGtm;
-      } else if (m->text == "gtmltm") {
-        s.selftune.mode = SelfTuneMode::kGtmLtm;
-      } else {
-        return false;
-      }
+    if (st->kind != Jv::kObj) {
+      return fail_field(err, "", "selftune", "expected an object");
     }
-    if (!read_index(*st, "gtm_cells", &s.selftune.gtm_cells) ||
-        !read_index(*st, "ltm_columns", &s.selftune.ltm_columns)) {
+    if (!read_enum(*st, "mode", {"none", "gtm", "gtmltm"},
+                   {SelfTuneMode::kNone, SelfTuneMode::kGtm,
+                    SelfTuneMode::kGtmLtm},
+                   &s.selftune.mode, err, "selftune.") ||
+        !read_index(*st, "gtm_cells", &s.selftune.gtm_cells, err,
+                    "selftune.") ||
+        !read_index(*st, "ltm_columns", &s.selftune.ltm_columns, err,
+                    "selftune.")) {
       return false;
     }
   }
   if (const Jv* e = root.find("eval")) {
-    if (e->kind != Jv::kObj) return false;
-    if (!read_index(*e, "n_chips", &s.eval.n_chips) ||
-        !read_index(*e, "max_test_samples", &s.eval.max_test_samples) ||
-        !read_index(*e, "batch_size", &s.eval.batch_size) ||
-        !read_u64(*e, "seed", &s.eval.seed) ||
-        !read_index(*e, "chip_batch", &s.eval.chip_batch) ||
-        !read_index(*e, "tile_size", &s.eval.tile_size)) {
-      return false;
+    if (e->kind != Jv::kObj) {
+      return fail_field(err, "", "eval", "expected an object");
     }
-    if (const Jv* b = e->find("backend")) {
-      if (b->kind != Jv::kStr) return false;
-      if (b->text == "weight_domain") {
-        s.eval.backend = EvalBackend::kWeightDomain;
-      } else if (b->text == "circuit") {
-        s.eval.backend = EvalBackend::kCircuit;
-      } else if (b->text == "int8") {
-        s.eval.backend = EvalBackend::kInt8;
-      } else {
-        return false;
-      }
+    if (!read_index(*e, "n_chips", &s.eval.n_chips, err, "eval.") ||
+        !read_index(*e, "max_test_samples", &s.eval.max_test_samples, err,
+                    "eval.") ||
+        !read_index(*e, "batch_size", &s.eval.batch_size, err, "eval.") ||
+        !read_u64(*e, "seed", &s.eval.seed, err, "eval.") ||
+        !read_index(*e, "chip_batch", &s.eval.chip_batch, err, "eval.") ||
+        !read_index(*e, "tile_size", &s.eval.tile_size, err, "eval.") ||
+        !read_enum(*e, "backend", {"weight_domain", "circuit", "int8"},
+                   {EvalBackend::kWeightDomain, EvalBackend::kCircuit,
+                    EvalBackend::kInt8},
+                   &s.eval.backend, err, "eval.")) {
+      return false;
     }
   }
   *out = std::move(s);

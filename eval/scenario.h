@@ -64,8 +64,12 @@ struct ScenarioSpec {
 
   /// Parse a to_json() document. Returns false — leaving *out untouched —
   /// on malformed JSON, an unknown enum token or a schema-version
-  /// mismatch. Absent optional fields keep their defaults.
-  static bool from_json(const std::string& text, ScenarioSpec* out);
+  /// mismatch. Absent optional fields keep their defaults. On failure
+  /// `*error` (optional) names the offending field and what was wrong
+  /// with it (e.g. "train.lr: expected a number", "algo: unknown token
+  /// 'QVT'"), so manifest validation can point at the exact field.
+  static bool from_json(const std::string& text, ScenarioSpec* out,
+                        std::string* error = nullptr);
 
   /// Workload defaults for (kind, bits, algo): default model/train/eval
   /// configs, no deployment noise (clean-accuracy scenario), fast flag

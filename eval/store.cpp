@@ -443,6 +443,19 @@ bool store_save_state(const char* bucket, const std::string& key,
   return write_artifact(artifact_path(bucket, key), os.str());
 }
 
+bool store_has(const char* bucket, const std::string& key) {
+  if (!store_enabled()) return false;
+  std::error_code ec;
+  return fs::exists(artifact_path(bucket, key), ec) && !ec;
+}
+
+bool store_claim_busy(const char* bucket, const std::string& key) {
+  if (!store_enabled()) return false;
+  const fs::path path = artifact_path(bucket, key) + ".claim";
+  const double age = file_age_seconds(path);
+  return age >= 0.0 && age < store_claim_ttl_seconds();
+}
+
 void store_drop_all() {
   std::error_code ec;
   fs::remove_all(schema_root(), ec);

@@ -98,6 +98,23 @@ bool store_load_state(const char* bucket, const std::string& key,
 bool store_save_state(const char* bucket, const std::string& key,
                       const StateDict& sd);
 
+/// Cheap existence probe: true when an artifact file is published for
+/// (bucket, key). No content validation, no quarantine side effects —
+/// the claim-aware scheduler and `qavat-sweep --dry-run` use it to
+/// classify units without paying a full load (a published-but-corrupt
+/// artifact reads "present" here and is handled by the load path's
+/// quarantine-and-recompute when actually consumed). False when the
+/// store is disabled.
+bool store_has(const char* bucket, const std::string& key);
+
+/// Non-destructive work-claim probe: true when a claim file exists for
+/// (bucket, key) whose age is younger than the TTL — i.e. a live holder
+/// is producing the artifact right now and skipping to other work is
+/// productive. An absent or stale claim (reclaimable immediately), or a
+/// disabled store, reads false. Never creates, refreshes or reclaims
+/// anything — the scheduler's look-before-you-claim primitive.
+bool store_claim_busy(const char* bucket, const std::string& key);
+
 /// Delete every artifact under this schema's namespace
 /// (<root>/v<schema>/, both fast and full). Used by
 /// clear_experiment_caches(drop_disk=true); never touches anything
