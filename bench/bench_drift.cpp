@@ -4,69 +4,70 @@
 // steps. Sweeps the re-measurement interval against the drift correlation
 // time: frequent re-measurement tracks the drift; a single factory
 // calibration decays to the uncorrected level once t >> tau.
+//
+// Runs on the fleet lifetime subsystem (eval/fleet.h): each cell is a
+// FleetStudySpec — a small chip population under pure OU drift with a
+// fixed-interval re-tuning policy — whose canonical key() carries the
+// full study identity (the hand-built snprintf drift keys this bench
+// used before were a standing stale-result hazard), and whose
+// trajectory persists/resumes through the store's "fleet" bucket.
 #include "bench_common.h"
-#include "core/variability/drift.h"
+#include "eval/fleet.h"
 
 using namespace qavat;
 using namespace qavat::bench;
 
 int main() {
   BenchHarness bench("bench_drift");
-  const ModelKind kind = ModelKind::kLeNet5s;
-  const VarianceModel vm = VarianceModel::kWeightProportional;
+  FleetEvaluator fleet(bench.session);
 
-  DriftConfig dcfg;
-  dcfg.model = vm;
-  dcfg.sigma_b = 0.35;
-  dcfg.sigma_w = 0.25;
+  FleetStudySpec study;
+  study.scenario =
+      ScenarioSpec::within(ModelKind::kLeNet5s, 4, 2, ScenarioAlgo::kQAVAT,
+                           VarianceModel::kWeightProportional, 0.25);
+  study.lifetime.drift.model = VarianceModel::kWeightProportional;
+  study.lifetime.drift.sigma_w = 0.25;
+  study.lifetime.drift.sigma_b = 0.35;
+  study.lifetime.n_chips = fast_mode() ? 4 : 8;
+  study.lifetime.n_steps = fast_mode() ? 32 : 192;
+  study.lifetime.checkpoint_every = fast_mode() ? 8 : 48;
+  study.lifetime.batch_size = 50;
 
-  // Train per the ST recipe: within-chip sampling only, at the drift's
-  // within component.
-  const ScenarioSpec spec =
-      ScenarioSpec::within(kind, 4, 2, ScenarioAlgo::kQAVAT, vm, dcfg.sigma_w);
-  TrainedModel trained = bench.session.train_model(spec);
-  const Dataset& test = bench.session.dataset(kind).test;
-  // Drift results persist to the store, so their keys must carry the
-  // full identity: the scenario key (model, bits, training recipe) plus
-  // every drift knob — an under-specified key would return stale numbers
-  // after a constant change.
-  const auto drift_key = [&](const char* what, double tau, index_t interval,
-                             index_t n_steps) {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "_%s[sw%g_sb%g_tau%g_k%lld_n%lld]", what,
-                  dcfg.sigma_w, dcfg.sigma_b, tau,
-                  static_cast<long long>(interval),
-                  static_cast<long long>(n_steps));
-    return spec.key() + buf;
-  };
+  const TrainedModel trained = bench.session.train_model(study.scenario);
   std::printf("Drift extension: self-tuning vs temperature/aging drift\n");
   std::printf("(LeNet-5s A4W2; OU drift with stationary sigma_B = %.2f;\n",
-              dcfg.sigma_b);
-  std::printf(" clean accuracy %.1f%%)\n\n", 100.0 * trained.clean_test_acc);
+              study.lifetime.drift.sigma_b);
+  std::printf(" %lld chips x %lld steps; clean accuracy %.1f%%)\n\n",
+              static_cast<long long>(study.lifetime.n_chips),
+              static_cast<long long>(study.lifetime.n_steps),
+              100.0 * trained.clean_test_acc);
 
   for (double tau : {16.0, 64.0}) {
-    dcfg.tau = tau;
+    study.lifetime.drift.tau = tau;
     std::printf("correlation time tau = %.0f steps\n", tau);
-    TextTable table({"remeasure every", "accuracy %", "mean |eps_hat - eps_B(t)|"});
-    for (index_t interval : {index_t{0}, index_t{64}, index_t{16}, index_t{4}, index_t{1}}) {
-      DriftEvalConfig ecfg;
-      ecfg.n_steps = fast_mode() ? 32 : 192;
-      ecfg.batch_size = 50;
-      ecfg.remeasure_interval = interval;
-      const double acc = with_result_cache(
-          drift_key("drift", tau, interval, ecfg.n_steps), [&] {
-            return evaluate_under_drift(*trained.model, test, dcfg, ecfg)
-                .mean_acc;
-          });
-      DriftEvalConfig probe = ecfg;
-      probe.n_steps = fast_mode() ? 16 : 64;
-      const double staleness = with_result_cache(
-          drift_key("driftstale", tau, interval, probe.n_steps), [&] {
-            return evaluate_under_drift(*trained.model, test, dcfg, probe)
-                .mean_abs_error;
-          });
-      table.add_row({interval == 0 ? "never (factory only)" : std::to_string(interval),
-                     pct(acc), TextTable::fmt(staleness, 3)});
+    TextTable table(
+        {"remeasure every", "accuracy %", "mean |eps_hat - eps_B(t)|"});
+    for (index_t interval :
+         {index_t{0}, index_t{64}, index_t{16}, index_t{4}, index_t{1}}) {
+      study.lifetime.policy.kind = interval == 0
+                                       ? RetunePolicyKind::kNever
+                                       : RetunePolicyKind::kFixedInterval;
+      study.lifetime.policy.interval = interval;
+      const FleetRunResult res = fleet.run(study);
+      // Study-level summary: accuracy and staleness averaged over the
+      // whole trajectory (checkpoints weigh equally — windows are equal
+      // length), across the chip population.
+      double acc = 0.0, staleness = 0.0;
+      for (const FleetCheckpoint& row : res.trajectory.checkpoints) {
+        acc += row.mean;
+        staleness += row.stale;
+      }
+      const double n = static_cast<double>(res.trajectory.checkpoints.size());
+      acc /= n;
+      staleness /= n;
+      table.add_row(
+          {interval == 0 ? "never (factory only)" : std::to_string(interval),
+           pct(acc), TextTable::fmt(staleness, 3)});
       std::fflush(stdout);
     }
     table.print();

@@ -69,10 +69,11 @@ trap - EXIT
 # layer syntax checking on top when available. Nonzero exit on malformed
 # docs fails the build via set -e.
 DOC_HEADERS=(pim/chip.h pim/tiling.h eval/evaluator.h eval/scenario.h
-             eval/manifest.h eval/store.h eval/runner.h tensor/workspace.h
+             eval/manifest.h eval/store.h eval/runner.h eval/fleet.h
+             tensor/workspace.h
              tensor/conv_ops.h tensor/ops.h tensor/serialize.h
              tensor/int_ops.h tensor/thread_pool.h
-             core/quant/int8_backend.h)
+             core/quant/int8_backend.h core/variability/lifetime.h)
 echo "== docs check =="
 DOC_TOOL_RAN=0
 if command -v python3 >/dev/null 2>&1; then
@@ -248,6 +249,97 @@ fi
 "${BUILD_DIR}/qavat-store" verify --root "${MANIFEST_TMP}/race-store"
 echo "manifest sweep: OK (train_runs ${RACE_RUNS} = ${SEQ_RUNS}," \
      "manifest-order output byte-identical, all units done, store clean)"
+
+# Fleet resume gate (DESIGN.md §16): an interrupted lifetime study must
+# resume from its persisted snapshots and reproduce the uninterrupted
+# single-process trajectory byte-for-byte, at both thread budgets. The
+# interruption is real: the store's fault hook kills the process during
+# the SECOND snapshot publish (writes 1-2 are the QAT/QAVAT models,
+# writes 3+ the per-checkpoint snapshots), and the resuming process must
+# reclaim the dead holder's lease (QAVAT_CLAIM_TTL_S=1 keeps the wait
+# short) and assert via --resume that it actually continued from a
+# snapshot. Then two racing processes on one cold store must publish
+# each snapshot exactly once (summed published= equals the reference
+# count), and every store must verify clean.
+echo "== fleet resume (kill mid-publish, resume, byte-identical trajectory) =="
+FLEET_TMP="${STORE_TMP}/fleet"
+mkdir -p "${FLEET_TMP}"
+QAVAT_FAST=1 "${BUILD_DIR}/qavat-fleet" emit fleet_mixed \
+  -o "${FLEET_TMP}/study.json"
+published_of() {
+  sed -n 's/.*\[qavat-fleet\].* published=\([0-9]*\) .*/\1/p' "$1" | tail -1
+}
+for nt in 1 4; do
+  # Uninterrupted single-process reference on its own cold store.
+  QAVAT_FAST=1 QAVAT_THREADS="${nt}" \
+    QAVAT_STORE_DIR="${FLEET_TMP}/ref-store.${nt}" \
+    "${BUILD_DIR}/qavat-fleet" run "${FLEET_TMP}/study.json" \
+    > "${FLEET_TMP}/ref.${nt}.out" 2> "${FLEET_TMP}/ref.${nt}.err"
+  # Interrupted run: killed mid-rename of the second snapshot.
+  set +e
+  QAVAT_FAST=1 QAVAT_THREADS="${nt}" \
+    QAVAT_STORE_DIR="${FLEET_TMP}/store.${nt}" \
+    QAVAT_STORE_FAULT=kill_before_rename:4 \
+    "${BUILD_DIR}/qavat-fleet" run "${FLEET_TMP}/study.json" \
+    > /dev/null 2> "${FLEET_TMP}/killed.${nt}.err"
+  rc=$?
+  set -e
+  if [[ "${rc}" -ne 42 ]]; then
+    echo "fleet gate: fault injection did not kill the run (rc=${rc})" >&2
+    exit 1
+  fi
+  # Resume on the same store; --resume exits 1 if the study restarted
+  # from factory state instead of a persisted snapshot.
+  QAVAT_FAST=1 QAVAT_THREADS="${nt}" QAVAT_CLAIM_TTL_S=1 \
+    QAVAT_STORE_DIR="${FLEET_TMP}/store.${nt}" \
+    "${BUILD_DIR}/qavat-fleet" run "${FLEET_TMP}/study.json" --resume \
+    > "${FLEET_TMP}/resumed.${nt}.out" 2> "${FLEET_TMP}/resumed.${nt}.err"
+  if ! cmp "${FLEET_TMP}/ref.${nt}.out" "${FLEET_TMP}/resumed.${nt}.out"; then
+    echo "fleet gate: resumed trajectory differs from uninterrupted" \
+         "reference (QAVAT_THREADS=${nt})" >&2
+    exit 1
+  fi
+  "${BUILD_DIR}/qavat-store" verify --root "${FLEET_TMP}/store.${nt}"
+done
+if ! cmp "${FLEET_TMP}/ref.1.out" "${FLEET_TMP}/ref.4.out"; then
+  echo "fleet gate: trajectory differs between QAVAT_THREADS=1 and 4" >&2
+  exit 1
+fi
+# Exactly-once snapshot publication: two racing processes, one cold
+# store. The loser backs off on the fleet lease and loads the winner's
+# completed trajectory, so the summed published count equals the
+# single-process reference's.
+for w in 1 2; do
+  QAVAT_FAST=1 QAVAT_CLAIM_TTL_S=1 \
+    QAVAT_STORE_DIR="${FLEET_TMP}/race-store" \
+    "${BUILD_DIR}/qavat-fleet" run "${FLEET_TMP}/study.json" \
+    > "${FLEET_TMP}/race.${w}.out" 2> "${FLEET_TMP}/race.${w}.err" &
+  FLEET_PID[${w}]=$!
+done
+for w in 1 2; do
+  if ! wait "${FLEET_PID[${w}]}"; then
+    echo "fleet gate: racing worker ${w} failed:" >&2
+    cat "${FLEET_TMP}/race.${w}.err" >&2
+    exit 1
+  fi
+  if ! cmp "${FLEET_TMP}/ref.1.out" "${FLEET_TMP}/race.${w}.out"; then
+    echo "fleet gate: racing worker ${w} trajectory differs from the" \
+         "reference" >&2
+    exit 1
+  fi
+done
+REF_PUB="$(published_of "${FLEET_TMP}/ref.1.err")"
+RACE_PUB="$(( $(published_of "${FLEET_TMP}/race.1.err") \
+            + $(published_of "${FLEET_TMP}/race.2.err") ))"
+if [[ -z "${REF_PUB}" || "${RACE_PUB}" -ne "${REF_PUB}" ]]; then
+  echo "fleet gate: racing processes published ${RACE_PUB} snapshots," \
+       "reference published ${REF_PUB} - publication was duplicated or" \
+       "lost" >&2
+  exit 1
+fi
+"${BUILD_DIR}/qavat-store" verify --root "${FLEET_TMP}/race-store"
+echo "fleet resume: OK (resume = uninterrupted at QAVAT_THREADS=1/4," \
+     "exactly-once publication ${RACE_PUB} = ${REF_PUB}, stores clean)"
 rm -rf "${STORE_TMP}"
 trap - EXIT
 
@@ -260,6 +352,12 @@ ARTIFACT_DIR="${ARTIFACT_DIR:-${REPO_ROOT}/artifacts}"
 echo "== micro-bench (Release) =="
 rm -f "${BUILD_DIR}/BENCH_micro.json"  # fresh record (writers merge-by-name)
 (cd "${BUILD_DIR}" && QAVAT_BENCH_JSON=BENCH_micro.json ./bench_gemm_sweep)
+# bench_fleet contributes the fleet steps/s rows; it runs its frontier
+# against a throwaway store so CI never mixes with manual bench runs.
+BENCH_FLEET_STORE="$(mktemp -d)"
+(cd "${BUILD_DIR}" && QAVAT_FAST=1 QAVAT_BENCH_JSON=BENCH_micro.json \
+   QAVAT_STORE_DIR="${BENCH_FLEET_STORE}" ./bench_fleet >/dev/null)
+rm -rf "${BENCH_FLEET_STORE}"
 if [[ -x "${BUILD_DIR}/bench_micro_smoke" ]]; then
   (cd "${BUILD_DIR}" &&
    QAVAT_BENCH_JSON=BENCH_micro.json ./bench_micro_smoke \

@@ -9,6 +9,11 @@ OuProcess::OuProcess(double tau, double stationary_sigma, Rng& rng)
       innovation_sigma_(stationary_sigma * std::sqrt(1.0 - a_ * a_)),
       x_(rng.normal(0.0, stationary_sigma)) {}
 
+OuProcess::OuProcess(double tau, double stationary_sigma)
+    : a_(std::exp(-1.0 / (tau > 0.0 ? tau : 1.0))),
+      innovation_sigma_(stationary_sigma * std::sqrt(1.0 - a_ * a_)),
+      x_(0.0) {}
+
 double OuProcess::step(Rng& rng) {
   x_ = a_ * x_ + rng.normal(0.0, innovation_sigma_);
   return x_;

@@ -23,7 +23,16 @@ class OuProcess {
  public:
   OuProcess(double tau, double stationary_sigma, Rng& rng);
 
+  /// Coefficients-only construction: x starts at 0 and no RNG draw is
+  /// consumed. For callers that keep the per-trace value externally
+  /// (checkpointed fleet state) and inject it via set_value before each
+  /// step — the lifetime layer's snapshot/resume protocol depends on the
+  /// process state being exactly one double.
+  OuProcess(double tau, double stationary_sigma);
+
   double value() const { return x_; }
+  /// Inject the process value (e.g. restored from a snapshot).
+  void set_value(double x) { x_ = x; }
   /// Advance one step and return the new value.
   double step(Rng& rng);
 

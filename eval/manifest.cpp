@@ -243,6 +243,20 @@ bool SweepManifest::load(const std::string& path, SweepManifest* out,
   return true;
 }
 
+std::vector<SweepManifest> shard_manifest(const SweepManifest& m, int k) {
+  if (k < 1) k = 1;
+  std::vector<SweepManifest> shards(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    shards[static_cast<std::size_t>(i)].name = m.name + ".shard" +
+                                               std::to_string(i) + "of" +
+                                               std::to_string(k);
+  }
+  for (std::size_t s = 0; s < m.specs.size(); ++s) {
+    shards[s % static_cast<std::size_t>(k)].specs.push_back(m.specs[s]);
+  }
+  return shards;
+}
+
 // ------------------------------------------------------- built-in grids
 
 namespace {

@@ -52,6 +52,16 @@ struct SweepManifest {
                    std::string* error = nullptr);
 };
 
+/// Split a manifest into `k` disjoint round-robin shards for hosts that
+/// do NOT share a store (the work-claim protocol needs a common
+/// filesystem; disjoint manifests are the coordination-free fallback):
+/// shard i holds specs i, i+k, i+2k, ... in manifest order and is named
+/// "<name>.shard<i>of<k>". The shards partition the grid losslessly —
+/// every spec lands in exactly one shard, and interleaving the shards
+/// back in round-robin order reproduces the original spec sequence.
+/// k < 1 is clamped to 1 (one shard = a renamed copy).
+std::vector<SweepManifest> shard_manifest(const SweepManifest& m, int k);
+
 /// Names of the built-in grid generators: the spec grids the stock
 /// benches sweep, exposed as manifests so `qavat-sweep emit <name>`
 /// replaces recompiling a bench to change a campaign. Currently

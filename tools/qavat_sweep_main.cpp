@@ -4,11 +4,13 @@
 //
 //   qavat-sweep emit
 //       List the built-in grid generators.
-//   qavat-sweep emit <grid> [-o FILE]
+//   qavat-sweep emit <grid> [-o FILE] [--shards K]
 //       Materialize a built-in grid ("table1", "sweep_sigma") as a
 //       manifest JSON document, to stdout or FILE. Budgets are frozen
 //       under the CURRENT QAVAT_FAST — run the manifest under the same
-//       setting.
+//       setting. --shards K instead writes K disjoint round-robin
+//       manifests (<base>.shard<i>of<K>) for hosts that do not share a
+//       store; together they partition the grid losslessly.
 //   qavat-sweep run <manifest.json> [--workers K] [--sequential]
 //                   [--dry-run]
 //       Execute a manifest. Default: one in-process claim-aware
@@ -47,8 +49,11 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <emit|run> ...\n"
                "  emit                         list built-in grids\n"
-               "  emit <grid> [-o FILE]        write a built-in grid as a "
+               "  emit <grid> [-o FILE] [--shards K]\n"
+               "                               write a built-in grid as a "
                "manifest\n"
+               "                               (--shards K: K disjoint "
+               "round-robin manifests)\n"
                "  run <manifest.json> [--workers K] [--sequential] "
                "[--dry-run]\n"
                "                               execute a manifest "
@@ -85,9 +90,16 @@ int cmd_emit(int argc, char** argv) {
   }
   const std::string grid = argv[2];
   const char* out_path = nullptr;
+  int shards = 0;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+      if (shards < 1) {
+        std::fprintf(stderr, "qavat-sweep: --shards must be >= 1\n");
+        return usage(argv[0]);
+      }
     } else {
       return usage(argv[0]);
     }
@@ -96,6 +108,27 @@ int cmd_emit(int argc, char** argv) {
   if (!builtin_manifest(grid, &m)) {
     std::fprintf(stderr, "qavat-sweep: unknown grid '%s'\n", grid.c_str());
     return 1;
+  }
+  if (shards > 0) {
+    // Round-robin split for hosts that do not share a store: shard i is
+    // written next to the base path as <base>.shard<i>of<K> and carries
+    // the matching manifest name. The shards partition the grid
+    // losslessly (shard i holds specs i, i+K, i+2K, ... in grid order).
+    const std::string base =
+        out_path != nullptr ? std::string(out_path) : grid + ".json";
+    const std::vector<SweepManifest> parts = shard_manifest(m, shards);
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const std::string path = base + ".shard" + std::to_string(i) + "of" +
+                               std::to_string(shards);
+      std::string err;
+      if (!parts[i].save(path, &err)) {
+        std::fprintf(stderr, "qavat-sweep: %s\n", err.c_str());
+        return 1;
+      }
+      std::printf("shard %zu %s specs=%zu\n", i, path.c_str(),
+                  parts[i].specs.size());
+    }
+    return 0;
   }
   if (out_path == nullptr) {
     std::printf("%s\n", m.to_json().c_str());
